@@ -1,0 +1,65 @@
+// Command dstore serves a fairDMS document store over TCP — the deployment
+// unit that plays MongoDB's role in the paper's architecture. It optionally
+// loads a snapshot at startup and saves one on shutdown (SIGINT/SIGTERM).
+//
+// Usage:
+//
+//	dstore [-addr host:port] [-snapshot path] [-latency 150us] [-v]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fairdms/internal/docstore"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7717", "listen address")
+	snapshot := flag.String("snapshot", "", "snapshot file to load at start and save at exit")
+	latency := flag.Duration("latency", 0, "artificial per-request latency (emulates a remote link)")
+	verbose := flag.Bool("v", false, "log request errors")
+	flag.Parse()
+
+	store := docstore.NewStore()
+	if *snapshot != "" {
+		if _, err := os.Stat(*snapshot); err == nil {
+			loaded, err := docstore.Load(*snapshot)
+			if err != nil {
+				log.Fatalf("dstore: loading snapshot: %v", err)
+			}
+			store = loaded
+			log.Printf("dstore: loaded snapshot %s (%d collections)", *snapshot, len(store.Names()))
+		}
+	}
+
+	var logger *log.Logger
+	if *verbose {
+		logger = log.Default()
+	}
+	srv := docstore.NewServer(store, docstore.ServerConfig{Latency: *latency, Logger: logger})
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("dstore: listen: %v", err)
+	}
+	log.Printf("dstore: serving on %s (latency %v)", bound, *latency)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("dstore: shutting down after %d requests", srv.Requests())
+	if err := srv.Close(); err != nil {
+		log.Printf("dstore: close: %v", err)
+	}
+	if *snapshot != "" {
+		start := time.Now()
+		if err := store.Save(*snapshot); err != nil {
+			log.Fatalf("dstore: saving snapshot: %v", err)
+		}
+		log.Printf("dstore: snapshot saved to %s in %v", *snapshot, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,303 @@
+// Command fairdms runs the paper's end-to-end orchestrated workflow
+// (Fig. 5 + §III-C): a Globus-Flows-style DAG coordinates funcX-style
+// function execution and simulated Globus transfers between an
+// "experimental facility" endpoint and an "HPC" endpoint:
+//
+//	acquire (facility) ──► transfer-data ──► rapid-train (hpc) ──► transfer-model ──► deploy (facility)
+//
+// The rapid-train action is fairDMS proper: certainty check, PDF-matched
+// label retrieval, JSD model recommendation, fine-tuning, zoo update.
+//
+// Usage:
+//
+//	fairdms [-scans N] [-peaks N] [-store addr] [-timescale f]
+//
+// With -store, historical data lives in an external dstore server;
+// otherwise an in-process store is used.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"fairdms/internal/codec"
+	"fairdms/internal/core"
+	"fairdms/internal/datagen"
+	"fairdms/internal/docstore"
+	"fairdms/internal/embed"
+	"fairdms/internal/fairds"
+	"fairdms/internal/fairms"
+	"fairdms/internal/flow"
+	"fairdms/internal/funcx"
+	"fairdms/internal/models"
+	"fairdms/internal/nn"
+	"fairdms/internal/tensor"
+	"fairdms/internal/transfer"
+)
+
+const patch = 9
+
+func main() {
+	scans := flag.Int("scans", 10, "number of scans in the simulated experiment")
+	peaks := flag.Int("peaks", 60, "peaks per scan")
+	storeAddr := flag.String("store", "", "external dstore address (empty = in-process)")
+	timescale := flag.Float64("timescale", 0.001, "transfer time compression (0 = no sleeping)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(41))
+	schedule := datagen.DefaultBraggDrift(*scans * 6 / 10)
+	schedule.Base.Patch = patch
+	schedule.JumpWidth = 0.1 * patch
+	seq := schedule.BraggExperiment(42, *scans, *peaks)
+
+	// --- Data service over a local or remote store ----------------------
+	var backend fairds.DataStore
+	if *storeAddr != "" {
+		client, err := docstore.Dial(*storeAddr, 8)
+		check(err)
+		defer client.Close()
+		backend = fairds.RemoteCollection{Client: client, Name: "bragg"}
+		log.Printf("fairdms: using external store at %s", *storeAddr)
+	} else {
+		backend = docstore.NewStore().Collection("bragg")
+	}
+
+	var warmup []*codec.Sample
+	for i := 0; i < 3; i++ {
+		warmup = append(warmup, seq[i]...)
+	}
+	wx, err := fairds.Collate(warmup)
+	check(err)
+	aug := embed.ImageAugmenter{H: patch, W: patch, Noise: 0.1, ScaleRange: 0.1}
+	byol := embed.NewBYOL(rng, wx.Dim(1), 64, 8, aug.View, 0.95)
+	byol.Train(wx, embed.TrainConfig{Epochs: 15, BatchSize: 32, LR: 2e-3, Seed: 43})
+
+	ds, err := fairds.New(byol, backend, fairds.Config{Seed: 44})
+	check(err)
+	check(ds.FitClustersK(wx, 8))
+	for i := 0; i < 3; i++ {
+		_, err := ds.IngestLabeled(seq[i], fmt.Sprintf("scan-%02d", i))
+		check(err)
+	}
+
+	zoo := fairms.NewZoo()
+	seedModel := models.NewBraggNN(rng, patch)
+	wy := labelTensor(warmup)
+	nn.Fit(seedModel.Net, nn.NewAdam(seedModel.Net.Params(), 2e-3),
+		wx, seedModel.Targets(wy), wx, seedModel.Targets(wy),
+		nn.TrainConfig{Epochs: 40, BatchSize: 16, Seed: 45})
+	pdf, err := ds.DatasetPDF(wx)
+	check(err)
+	check(zoo.Add("braggnn-warmup", seedModel.Net.State(), pdf, nil))
+
+	sys, err := core.New(ds, zoo, core.Config{Seed: 46})
+	check(err)
+
+	// --- Orchestration fabric -------------------------------------------
+	facility := transfer.NewEndpoint("facility")
+	hpc := transfer.NewEndpoint("hpc")
+	mover := transfer.NewService(*timescale)
+	// 100 GbE facility↔HPC link, as in the paper's testbed.
+	mover.SetLink("facility", "hpc", transfer.Link{Bandwidth: 12.5e9, Latency: 500 * time.Microsecond})
+	mover.SetLink("hpc", "facility", transfer.Link{Bandwidth: 12.5e9, Latency: 500 * time.Microsecond})
+
+	registry := funcx.NewRegistry()
+	check(registry.Register("acquire", func(ctx context.Context, in any) (any, error) {
+		scan := in.(int)
+		// Serialize the scan to the facility endpoint, as the detector would.
+		var buf bytes.Buffer
+		for _, s := range seq[scan] {
+			raw, err := (codec.Block{}).Encode(s)
+			if err != nil {
+				return nil, err
+			}
+			var lenb [4]byte
+			putU32(lenb[:], uint32(len(raw)))
+			buf.Write(lenb[:])
+			buf.Write(raw)
+		}
+		facility.Put(blobName(scan), buf.Bytes())
+		return len(seq[scan]), nil
+	}))
+	check(registry.Register("rapid-train", func(ctx context.Context, in any) (any, error) {
+		scan := in.(int)
+		raw, err := hpc.Get(blobName(scan))
+		if err != nil {
+			return nil, err
+		}
+		samples, err := decodeBlob(raw)
+		if err != nil {
+			return nil, err
+		}
+		model, rep, err := sys.RapidTrain(core.Request{
+			Input: samples,
+			NewModel: func() *nn.Model {
+				return models.NewBraggNN(rng, patch).Net
+			},
+			Prep: func(ss []*codec.Sample) (*tensor.Tensor, *tensor.Tensor, error) {
+				x, err := fairds.Collate(ss)
+				if err != nil {
+					return nil, nil, err
+				}
+				helper := &models.BraggNN{Patch: patch}
+				return x, helper.Targets(labelTensor(ss)), nil
+			},
+			Train:   nn.TrainConfig{Epochs: 25, BatchSize: 16, Seed: int64(50 + scan)},
+			ModelID: fmt.Sprintf("braggnn-scan%02d", scan),
+		})
+		if err != nil {
+			return nil, err
+		}
+		state, err := model.State().Bytes()
+		if err != nil {
+			return nil, err
+		}
+		hpc.Put(modelName(scan), state)
+		return rep, nil
+	}))
+
+	edge := funcx.NewEndpoint("facility-edge", registry, 1, 8)
+	defer edge.Close()
+	compute := funcx.NewEndpoint("hpc-compute", registry, 2, 8)
+	defer compute.Close()
+
+	// --- Per-scan workflow ----------------------------------------------
+	for scan := 3; scan < *scans; scan++ {
+		wf := flow.New(fmt.Sprintf("update-scan-%02d", scan))
+		wf.Add(flow.Action{
+			Name: "acquire",
+			Run: func(ctx context.Context, rc *flow.RunContext) error {
+				n, err := edge.Call(ctx, "acquire", scan)
+				if err != nil {
+					return err
+				}
+				rc.Set("acquired", n)
+				return nil
+			},
+		})
+		wf.Add(flow.Action{
+			Name: "transfer-data", DependsOn: []string{"acquire"}, Retries: 2,
+			Run: func(ctx context.Context, rc *flow.RunContext) error {
+				res, err := mover.Transfer(ctx, facility, hpc, blobName(scan))
+				if err != nil {
+					return err
+				}
+				rc.Set("data-transfer", res)
+				return nil
+			},
+		})
+		wf.Add(flow.Action{
+			Name: "rapid-train", DependsOn: []string{"transfer-data"},
+			Run: func(ctx context.Context, rc *flow.RunContext) error {
+				rep, err := compute.Call(ctx, "rapid-train", scan)
+				if err != nil {
+					return err
+				}
+				rc.Set("report", rep)
+				return nil
+			},
+		})
+		wf.Add(flow.Action{
+			Name: "transfer-model", DependsOn: []string{"rapid-train"}, Retries: 2,
+			Run: func(ctx context.Context, rc *flow.RunContext) error {
+				_, err := mover.Transfer(ctx, hpc, facility, modelName(scan))
+				return err
+			},
+		})
+		wf.Add(flow.Action{
+			Name: "deploy", DependsOn: []string{"transfer-model"},
+			Run: func(ctx context.Context, rc *flow.RunContext) error {
+				return nil // the facility would hot-swap the surrogate here
+			},
+		})
+
+		rc := flow.NewRunContext()
+		report, err := wf.Execute(context.Background(), rc)
+		check(err)
+		rep := mustReport(rc)
+		xfer, _ := rc.Get("data-transfer")
+		mode := "fine-tuned " + rep.Foundation
+		if !rep.FineTuned {
+			mode = "scratch"
+		}
+		fmt.Printf("scan %02d: flow %v | data %s | labels %d in %v | %s (JSD %.4f) | train %v\n",
+			scan, report.Duration.Round(time.Millisecond),
+			transferSummary(xfer), rep.Labeled, rep.LabelTime.Round(time.Millisecond),
+			mode, rep.JSD, rep.TrainTime.Round(time.Millisecond))
+
+		// Scan data becomes historical for subsequent scans.
+		_, err = ds.IngestLabeled(seq[scan], fmt.Sprintf("scan-%02d", scan))
+		check(err)
+	}
+	fmt.Printf("workflow complete: zoo holds %d models, store holds %d samples\n",
+		zoo.Len(), ds.StoreCount())
+}
+
+func blobName(scan int) string  { return fmt.Sprintf("scan-%02d.dat", scan) }
+func modelName(scan int) string { return fmt.Sprintf("model-%02d.sd", scan) }
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func decodeBlob(raw []byte) ([]*codec.Sample, error) {
+	var out []*codec.Sample
+	for len(raw) >= 4 {
+		n := int(getU32(raw[:4]))
+		raw = raw[4:]
+		if len(raw) < n {
+			return nil, fmt.Errorf("fairdms: truncated scan blob")
+		}
+		s, err := (codec.Block{}).Decode(raw[:n])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		raw = raw[n:]
+	}
+	return out, nil
+}
+
+func labelTensor(samples []*codec.Sample) *tensor.Tensor {
+	y := tensor.New(len(samples), 2)
+	for i, s := range samples {
+		y.Set(s.Label[0], i, 0)
+		y.Set(s.Label[1], i, 1)
+	}
+	return y
+}
+
+func mustReport(rc *flow.RunContext) *core.Report {
+	v := rc.MustGet("report")
+	rep, ok := v.(*core.Report)
+	if !ok {
+		log.Fatalf("fairdms: unexpected report type %T", v)
+	}
+	return rep
+}
+
+func transferSummary(v any) string {
+	res, ok := v.(*transfer.Result)
+	if !ok {
+		return "?"
+	}
+	return fmt.Sprintf("%dB in %v (modeled)", res.Bytes, res.Modeled.Round(time.Microsecond))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Command hedm simulates the paper's motivating scenario (Figs. 1–2 and
+// §III-H): a long-running High-Energy X-ray Diffraction Microscopy
+// experiment whose sample deforms mid-run. A BraggNN surrogate analyzes
+// each scan; fairDMS monitors clustering certainty and MC-dropout
+// uncertainty, and when the deformation degrades the model it performs a
+// rapid update — reusing historical labels via fairDS and fine-tuning the
+// JSD-recommended zoo model via fairMS — instead of the legacy
+// label-everything-and-retrain-from-scratch loop.
+//
+// Run with: go run ./examples/hedm
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"fairdms/internal/codec"
+	"fairdms/internal/core"
+	"fairdms/internal/datagen"
+	"fairdms/internal/docstore"
+	"fairdms/internal/embed"
+	"fairdms/internal/fairds"
+	"fairdms/internal/fairms"
+	"fairdms/internal/models"
+	"fairdms/internal/nn"
+	"fairdms/internal/tensor"
+	"fairdms/internal/uq"
+)
+
+const (
+	patch       = 9
+	numScans    = 14
+	peaksPer    = 80
+	driftAt     = 8
+	warmupScans = 3
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(21))
+	schedule := datagen.DefaultBraggDrift(driftAt)
+	schedule.Base.Patch = patch
+	schedule.JumpWidth = 0.1 * patch
+	scans := schedule.BraggExperiment(22, numScans, peaksPer)
+
+	// System plane setup on the warmup scans.
+	var warmup []*codec.Sample
+	for i := 0; i < warmupScans; i++ {
+		warmup = append(warmup, scans[i]...)
+	}
+	wx, err := fairds.Collate(warmup)
+	check(err)
+	aug := embed.ImageAugmenter{H: patch, W: patch, Noise: 0.1, ScaleRange: 0.1}
+	byol := embed.NewBYOL(rng, wx.Dim(1), 64, 8, aug.View, 0.95)
+	byol.Train(wx, embed.TrainConfig{Epochs: 15, BatchSize: 32, LR: 2e-3, Seed: 23})
+
+	ds, err := fairds.New(byol, docstore.NewStore().Collection("hedm"), fairds.Config{Seed: 24})
+	check(err)
+	check(ds.FitClustersK(wx, 8))
+	for i := 0; i < warmupScans; i++ {
+		_, err := ds.IngestLabeled(scans[i], fmt.Sprintf("scan-%02d", i))
+		check(err)
+	}
+
+	// Initial surrogate, trained on warmup data, registered in the zoo.
+	surrogate := models.NewBraggNN(rng, patch)
+	wy := labels(warmup)
+	opt := nn.NewAdam(surrogate.Net.Params(), 2e-3)
+	nn.Fit(surrogate.Net, opt, wx, surrogate.Targets(wy), wx, surrogate.Targets(wy),
+		nn.TrainConfig{Epochs: 40, BatchSize: 16, Seed: 25})
+	zoo := fairms.NewZoo()
+	pdf, err := ds.DatasetPDF(wx)
+	check(err)
+	check(zoo.Add("braggnn-warmup", surrogate.Net.State(), pdf, nil))
+
+	sys, err := core.New(ds, zoo, core.Config{Seed: 26, CertaintyTrigger: 0.8})
+	check(err)
+
+	detector := &uq.DriftDetector{Warmup: warmupScans, Threshold: 1.6}
+	fmt.Println("scan  err(px)  mc-unc   certainty  action")
+	fmt.Println("----  -------  -------  ---------  ------")
+	updates := 0
+	for i := warmupScans; i < numScans; i++ {
+		x, y := tensors(scans[i])
+		errPx := surrogate.MeanErrorPx(x, y)
+		unc, err := uq.MeanUncertainty(surrogate.Net, x, 12)
+		check(err)
+		cert, _, err := sys.CheckDataset(scans[i])
+		check(err)
+
+		action := "ok"
+		if detector.Observe(errPx) || cert < 0.8 {
+			action = "RAPID UPDATE"
+			updates++
+			start := time.Now()
+			model, rep, err := sys.RapidTrain(core.Request{
+				Input: scans[i],
+				NewModel: func() *nn.Model {
+					return models.NewBraggNN(rng, patch).Net
+				},
+				Prep: func(samples []*codec.Sample) (*tensor.Tensor, *tensor.Tensor, error) {
+					sx, _ := fairds.Collate(samples)
+					helper := &models.BraggNN{Patch: patch}
+					return sx, helper.Targets(labels(samples)), nil
+				},
+				Train:   nn.TrainConfig{Epochs: 30, BatchSize: 16, Seed: int64(30 + i)},
+				ModelID: fmt.Sprintf("braggnn-scan%02d", i),
+			})
+			check(err)
+			surrogate = &models.BraggNN{Net: model, Patch: patch}
+			path := "fine-tuned " + rep.Foundation
+			if !rep.FineTuned {
+				path = "scratch"
+			}
+			action = fmt.Sprintf("RAPID UPDATE (%s, %v)", path, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Printf("%4d  %7.3f  %7.4f  %8.1f%%  %s\n", i, errPx, unc, 100*cert, action)
+
+		// New scan data becomes historical once processed.
+		_, err = ds.IngestLabeled(scans[i], fmt.Sprintf("scan-%02d", i))
+		check(err)
+	}
+	fmt.Printf("\n%d rapid updates over %d scans; zoo now holds %d models\n",
+		updates, numScans-warmupScans, zoo.Len())
+	for _, e := range sys.Events() {
+		fmt.Printf("  event %-9s %s\n", e.Kind, e.Info)
+	}
+}
+
+func labels(samples []*codec.Sample) *tensor.Tensor {
+	y := tensor.New(len(samples), 2)
+	for i, s := range samples {
+		y.Set(s.Label[0], i, 0)
+		y.Set(s.Label[1], i, 1)
+	}
+	return y
+}
+
+func tensors(samples []*codec.Sample) (*tensor.Tensor, *tensor.Tensor) {
+	x, err := fairds.Collate(samples)
+	check(err)
+	return x, labels(samples)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(n, dim, centers int) [][]float64 {
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]float64, n)
+	for i := range data {
+		c := i % centers
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = float64(c*10) + rng.NormFloat64()
+		}
+		data[i] = row
+	}
+	return data
+}
+
+func BenchmarkFitK8(b *testing.B) {
+	data := benchData(2048, 8, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(data, Config{K: 8, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	data := benchData(2048, 8, 8)
+	km, err := Fit(data, Config{K: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		km.Predict(data)
+	}
+}
+
+func BenchmarkMemberships(b *testing.B) {
+	data := benchData(1024, 8, 8)
+	km, err := Fit(data, Config{K: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		km.Memberships(data, 2)
+	}
+}
+
+func BenchmarkSelectK(b *testing.B) {
+	data := benchData(512, 4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := SelectK(data, 2, 8, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"math"
+
+	"fairdms/internal/tensor"
+)
+
+// Memberships computes fuzzy c-means style membership weights of each sample
+// against the fitted centers, with fuzzifier m (> 1, typically 2):
+//
+//	u_ik = 1 / Σ_j (d_ik / d_jk)^(2/(m-1))
+//
+// Rows sum to 1. A sample exactly on a center gets membership 1 there.
+// fairDMS uses these memberships to quantify clustering certainty
+// (paper §III-I uses fuzzy k-means with a 50% confidence cut).
+func (km *KMeans) Memberships(data [][]float64, m float64) [][]float64 {
+	if m <= 1 {
+		m = 2
+	}
+	exp := 2 / (m - 1)
+	k := km.K()
+	out := make([][]float64, len(data))
+	tensor.ParallelFor(len(data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := make([]float64, k)
+			d := make([]float64, k)
+			exact := -1
+			for j, c := range km.Centers {
+				d[j] = math.Sqrt(tensor.SquaredDistance(data[i], c))
+				if d[j] == 0 {
+					exact = j
+				}
+			}
+			if exact >= 0 {
+				u[exact] = 1
+				out[i] = u
+				continue
+			}
+			for j := range u {
+				s := 0.0
+				for l := range d {
+					s += math.Pow(d[j]/d[l], exp)
+				}
+				u[j] = 1 / s
+			}
+			out[i] = u
+		}
+	})
+	return out
+}
+
+// Certainty returns the fraction of samples whose maximum fuzzy membership
+// is at least threshold — the paper's clustering-certainty metric: "the
+// percentage of the dataset that are assigned to their respective cluster
+// with at least 50% confidence" (§III-I). fairDMS triggers a system-plane
+// refresh when this drops below its trigger level (80% in Fig. 16).
+func (km *KMeans) Certainty(data [][]float64, fuzzifier, threshold float64) float64 {
+	if len(data) == 0 {
+		return 1
+	}
+	u := km.Memberships(data, fuzzifier)
+	hit := 0
+	for _, row := range u {
+		best := 0.0
+		for _, v := range row {
+			if v > best {
+				best = v
+			}
+		}
+		if best >= threshold {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(data))
+}

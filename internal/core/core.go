@@ -1,0 +1,266 @@
+// Package core assembles fairDS and fairMS into fairDMS, the end-to-end
+// rapid model-training system of the paper's Fig. 5. It implements the two
+// planes:
+//
+//   - User plane: RapidTrain — given new unlabeled data, compute its
+//     cluster PDF, retrieve PDF-matched labeled historical data (pseudo-
+//     labeling), recommend the closest zoo model by JSD, fine-tune it (or
+//     train from scratch past the distance threshold), and register the
+//     result back into the zoo.
+//   - System plane: uncertainty monitoring — fuzzy-clustering certainty of
+//     each incoming dataset is checked against a trigger threshold; when
+//     it drops, a registered refresh callback retrains the embedding and
+//     clustering modules and rebuilds the store index (paper §III-I).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fairdms/internal/codec"
+	"fairdms/internal/fairds"
+	"fairdms/internal/fairms"
+	"fairdms/internal/nn"
+	"fairdms/internal/stats"
+	"fairdms/internal/tensor"
+)
+
+// Config tunes the fairDMS control loop.
+type Config struct {
+	// CertaintyTrigger is the clustering-certainty level below which the
+	// system plane refresh fires (the paper uses 0.8).
+	CertaintyTrigger float64
+	// MembershipCut is the fuzzy-membership confidence defining a
+	// "certain" assignment (the paper uses 0.5).
+	MembershipCut float64
+	// JSDThreshold is the user-defined distance beyond which no zoo model
+	// is a suitable foundation and training starts from scratch.
+	JSDThreshold float64
+	// FineTuneLR and ScratchLR are the learning rates for the two paths;
+	// fine-tuning conventionally uses a smaller rate.
+	FineTuneLR float64
+	ScratchLR  float64
+	// ValFraction of retrieved labeled data is held out for convergence
+	// tracking (default 0.2).
+	ValFraction float64
+	// Seed drives the train/val split.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.CertaintyTrigger <= 0 {
+		c.CertaintyTrigger = 0.8
+	}
+	if c.MembershipCut <= 0 {
+		c.MembershipCut = 0.5
+	}
+	if c.JSDThreshold <= 0 {
+		c.JSDThreshold = 0.5
+	}
+	if c.FineTuneLR <= 0 {
+		c.FineTuneLR = 2e-4
+	}
+	if c.ScratchLR <= 0 {
+		c.ScratchLR = 1e-3
+	}
+	if c.ValFraction <= 0 || c.ValFraction >= 1 {
+		c.ValFraction = 0.2
+	}
+}
+
+// RefreshFunc is the system-plane action fired on low clustering certainty:
+// it should retrain the embedding model and clustering module on recent
+// data and re-ingest the store (the caller owns that data).
+type RefreshFunc func(certainty float64) error
+
+// System is a running fairDMS instance.
+type System struct {
+	DS  *fairds.Service
+	Zoo *fairms.Zoo
+
+	cfg     Config
+	refresh RefreshFunc
+	events  []Event
+}
+
+// Event records a control-plane occurrence for observability.
+type Event struct {
+	At   time.Time
+	Kind string // "trigger", "finetune", "scratch", "ingest"
+	Info string
+}
+
+// New assembles a system from its two services.
+func New(ds *fairds.Service, zoo *fairms.Zoo, cfg Config) (*System, error) {
+	if ds == nil || zoo == nil {
+		return nil, errors.New("core: nil data or model service")
+	}
+	cfg.defaults()
+	return &System{DS: ds, Zoo: zoo, cfg: cfg}, nil
+}
+
+// SetRefresh registers the system-plane refresh callback.
+func (s *System) SetRefresh(fn RefreshFunc) { s.refresh = fn }
+
+// Events returns the recorded control-plane events.
+func (s *System) Events() []Event { return append([]Event(nil), s.events...) }
+
+func (s *System) log(kind, format string, args ...any) {
+	s.events = append(s.events, Event{At: time.Now(), Kind: kind, Info: fmt.Sprintf(format, args...)})
+}
+
+// Request describes one user-plane rapid-training job.
+type Request struct {
+	// Input is the new, unlabeled data that the model must handle.
+	Input []*codec.Sample
+	// NewModel constructs a fresh, randomly initialized model instance.
+	NewModel func() *nn.Model
+	// Prep converts labeled samples into training tensors (x, y) — it owns
+	// model-specific label normalization.
+	Prep func(samples []*codec.Sample) (x, y *tensor.Tensor, err error)
+	// Train configures the optimization run (epochs, batch, target loss).
+	Train nn.TrainConfig
+	// ModelID names the resulting zoo entry.
+	ModelID string
+	// Meta is attached to the zoo entry.
+	Meta map[string]string
+}
+
+// Report describes what RapidTrain did and how long each stage took —
+// the per-stage numbers behind the paper's Fig. 15.
+type Report struct {
+	Certainty  float64
+	Triggered  bool
+	LabelTime  time.Duration
+	TrainTime  time.Duration
+	FineTuned  bool
+	Foundation string  // zoo ID of the fine-tuning foundation ("" if scratch)
+	JSD        float64 // divergence of the foundation's training data
+	PDF        stats.PDF
+	Result     *nn.TrainResult
+	Labeled    int // number of labeled samples retrieved
+}
+
+// Total returns the end-to-end model updating time.
+func (r *Report) Total() time.Duration { return r.LabelTime + r.TrainTime }
+
+// RapidTrain executes the full fairDMS user-plane workflow and returns the
+// trained model with its report.
+func (s *System) RapidTrain(req Request) (*nn.Model, *Report, error) {
+	if len(req.Input) == 0 {
+		return nil, nil, errors.New("core: empty input dataset")
+	}
+	if req.NewModel == nil || req.Prep == nil {
+		return nil, nil, errors.New("core: request needs NewModel and Prep")
+	}
+	x, err := fairds.Collate(req.Input)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{}
+
+	// System plane: certainty check and (possibly) refresh.
+	cert, err := s.DS.Certainty(x, s.cfg.MembershipCut)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Certainty = cert
+	if cert < s.cfg.CertaintyTrigger && s.refresh != nil {
+		s.log("trigger", "certainty %.3f below %.3f", cert, s.cfg.CertaintyTrigger)
+		if err := s.refresh(cert); err != nil {
+			return nil, nil, fmt.Errorf("core: system-plane refresh: %w", err)
+		}
+		rep.Triggered = true
+	}
+
+	// fairDS: pseudo-labeling via PDF-matched retrieval.
+	labelStart := time.Now()
+	labeled, err := s.DS.LookupLabeled(x)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: label lookup: %w", err)
+	}
+	rep.LabelTime = time.Since(labelStart)
+	rep.Labeled = len(labeled)
+
+	pdf, err := s.DS.DatasetPDF(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.PDF = pdf
+
+	// fairMS: foundation-model recommendation.
+	model := req.NewModel()
+	lr := s.cfg.ScratchLR
+	if rec, ok := s.Zoo.RecommendWithThreshold(pdf, s.cfg.JSDThreshold); ok {
+		if err := model.LoadState(rec.Record.State); err != nil {
+			return nil, nil, fmt.Errorf("core: loading foundation %q: %w", rec.Record.ID, err)
+		}
+		rep.FineTuned = true
+		rep.Foundation = rec.Record.ID
+		rep.JSD = rec.JSD
+		lr = s.cfg.FineTuneLR
+		s.log("finetune", "foundation %s at JSD %.4f", rec.Record.ID, rec.JSD)
+	} else {
+		s.log("scratch", "no foundation within JSD %.3f", s.cfg.JSDThreshold)
+	}
+
+	// Training on the retrieved labeled data.
+	tx, ty, err := req.Prep(labeled)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: preparing training data: %w", err)
+	}
+	trainX, trainY, valX, valY := split(tx, ty, s.cfg.ValFraction, s.cfg.Seed)
+	trainStart := time.Now()
+	opt := nn.NewAdam(model.Params(), lr)
+	rep.Result = nn.Fit(model, opt, trainX, trainY, valX, valY, req.Train)
+	rep.TrainTime = time.Since(trainStart)
+
+	// Register the updated model for future reuse.
+	if req.ModelID != "" {
+		if err := s.Zoo.Add(req.ModelID, model.State(), pdf, req.Meta); err != nil {
+			return nil, nil, fmt.Errorf("core: registering model: %w", err)
+		}
+		s.log("ingest", "model %s added to zoo (%d entries)", req.ModelID, s.Zoo.Len())
+	}
+	return model, rep, nil
+}
+
+// CheckDataset runs only the system-plane certainty check (with trigger) on
+// a dataset — the Fig. 16 monitoring loop.
+func (s *System) CheckDataset(samples []*codec.Sample) (certainty float64, triggered bool, err error) {
+	x, err := fairds.Collate(samples)
+	if err != nil {
+		return 0, false, err
+	}
+	cert, err := s.DS.Certainty(x, s.cfg.MembershipCut)
+	if err != nil {
+		return 0, false, err
+	}
+	if cert < s.cfg.CertaintyTrigger && s.refresh != nil {
+		s.log("trigger", "certainty %.3f below %.3f", cert, s.cfg.CertaintyTrigger)
+		if err := s.refresh(cert); err != nil {
+			return cert, false, fmt.Errorf("core: system-plane refresh: %w", err)
+		}
+		return cert, true, nil
+	}
+	return cert, false, nil
+}
+
+// split partitions (x, y) into train and validation subsets.
+func split(x, y *tensor.Tensor, valFrac float64, seed int64) (tx, ty, vx, vy *tensor.Tensor) {
+	n := x.Dim(0)
+	nVal := int(float64(n) * valFrac)
+	if nVal < 1 {
+		nVal = 1
+	}
+	if nVal >= n {
+		nVal = n - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	val := perm[:nVal]
+	train := perm[nVal:]
+	return nn.Gather(x, train), nn.Gather(y, train), nn.Gather(x, val), nn.Gather(y, val)
+}

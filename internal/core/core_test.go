@@ -1,0 +1,339 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fairdms/internal/codec"
+	"fairdms/internal/datagen"
+	"fairdms/internal/docstore"
+	"fairdms/internal/fairds"
+	"fairdms/internal/fairms"
+	"fairdms/internal/models"
+	"fairdms/internal/nn"
+	"fairdms/internal/tensor"
+)
+
+// statEmbedder is a deterministic, training-free embedder: block means of
+// the image. Sufficient to separate width/amplitude regimes.
+type statEmbedder struct{ dim int }
+
+func (e statEmbedder) Dim() int { return e.dim }
+func (e statEmbedder) Embed(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Dim(0), e.dim)
+	feats := x.Dim(1)
+	chunk := (feats + e.dim - 1) / e.dim
+	for i := 0; i < x.Dim(0); i++ {
+		row := x.Row(i)
+		for d := 0; d < e.dim; d++ {
+			lo, hi := d*chunk, (d+1)*chunk
+			if hi > feats {
+				hi = feats
+			}
+			s := 0.0
+			for _, v := range row[lo:hi] {
+				s += v
+			}
+			if hi > lo {
+				out.Set(s/float64(hi-lo), i, d)
+			}
+		}
+	}
+	return out
+}
+
+const testPatch = 9
+
+func regimeAt(i int) datagen.BraggRegime {
+	r := datagen.DefaultBraggRegime()
+	r.Patch = testPatch
+	r.WidthMean += 0.5 * float64(i)
+	r.AmpMean += 4 * float64(i)
+	return r
+}
+
+// buildSystem assembles a fairDMS with historical data from regimes 0..2
+// and a zoo of per-regime models. perRegime sets the historical dataset
+// size per regime and zooEpochs how well each zoo model is pre-trained.
+func buildSystemSized(t *testing.T, perRegimeN, zooEpochs int) *System {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	store := docstore.NewStore().Collection("peaks")
+	ds, err := fairds.New(statEmbedder{dim: 5}, store, fairds.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Historical data across three regimes.
+	var all []*codec.Sample
+	perRegime := make([][]*codec.Sample, 3)
+	for i := 0; i < 3; i++ {
+		perRegime[i] = regimeAt(i).Generate(rng, perRegimeN)
+		all = append(all, perRegime[i]...)
+	}
+	xAll, err := fairds.Collate(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.FitClustersK(xAll, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.IngestLabeled(all, "history"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zoo: one model per regime, pre-trained on that regime's data.
+	zoo := fairms.NewZoo()
+	for i := 0; i < 3; i++ {
+		m := models.NewBraggNN(rng, testPatch)
+		x, _ := fairds.Collate(perRegime[i])
+		y := labelsOf(perRegime[i])
+		opt := nn.NewAdam(m.Net.Params(), 2e-3)
+		nn.Fit(m.Net, opt, x, m.Targets(y), x, m.Targets(y), nn.TrainConfig{Epochs: zooEpochs, BatchSize: 32, Seed: 3})
+		pdf, err := ds.DatasetPDF(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := zoo.Add(zooID(i), m.Net.State(), pdf, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sys, err := New(ds, zoo, Config{Seed: 4, JSDThreshold: 0.9, FineTuneLR: 5e-4, ScratchLR: 2e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func buildSystem(t *testing.T) *System { return buildSystemSized(t, 60, 15) }
+
+func zooID(i int) string {
+	return []string{"model-r0", "model-r1", "model-r2"}[i]
+}
+
+func labelsOf(samples []*codec.Sample) *tensor.Tensor {
+	y := tensor.New(len(samples), 2)
+	for i, s := range samples {
+		y.Set(s.Label[0], i, 0)
+		y.Set(s.Label[1], i, 1)
+	}
+	return y
+}
+
+func braggRequest(t *testing.T, input []*codec.Sample, id string) Request {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	return Request{
+		Input: input,
+		NewModel: func() *nn.Model {
+			return models.NewBraggNN(rng, testPatch).Net
+		},
+		Prep: func(samples []*codec.Sample) (*tensor.Tensor, *tensor.Tensor, error) {
+			x, err := fairds.Collate(samples)
+			if err != nil {
+				return nil, nil, err
+			}
+			helper := &models.BraggNN{Patch: testPatch}
+			return x, helper.Targets(labelsOf(samples)), nil
+		},
+		Train:   nn.TrainConfig{Epochs: 10, BatchSize: 32, Seed: 8},
+		ModelID: id,
+	}
+}
+
+func TestRapidTrainFineTunesFromZoo(t *testing.T) {
+	sys := buildSystem(t)
+	rng := rand.New(rand.NewSource(9))
+	input := regimeAt(1).Generate(rng, 40)
+
+	model, rep, err := sys.RapidTrain(braggRequest(t, input, "updated-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model == nil {
+		t.Fatal("nil model")
+	}
+	if !rep.FineTuned {
+		t.Fatal("expected fine-tuning path with a well-matched zoo")
+	}
+	if rep.Foundation != "model-r1" {
+		t.Fatalf("foundation = %s, want model-r1 (same regime)", rep.Foundation)
+	}
+	if rep.Labeled != 40 {
+		t.Fatalf("retrieved %d labeled samples, want 40", rep.Labeled)
+	}
+	if rep.LabelTime <= 0 || rep.TrainTime <= 0 {
+		t.Fatalf("timings missing: %+v", rep)
+	}
+	if rep.Total() != rep.LabelTime+rep.TrainTime {
+		t.Fatal("Total() inconsistent")
+	}
+	// The new model must be in the zoo now.
+	if _, err := sys.Zoo.Get("updated-1"); err != nil {
+		t.Fatal(err)
+	}
+	// Events recorded.
+	kinds := map[string]bool{}
+	for _, e := range sys.Events() {
+		kinds[e.Kind] = true
+	}
+	if !kinds["finetune"] || !kinds["ingest"] {
+		t.Fatalf("events missing: %v", sys.Events())
+	}
+}
+
+func TestRapidTrainScratchWhenZooTooFar(t *testing.T) {
+	sys := buildSystem(t)
+	// Tighten the threshold so nothing qualifies.
+	sys.cfg.JSDThreshold = 1e-9
+	rng := rand.New(rand.NewSource(10))
+	input := regimeAt(2).Generate(rng, 30)
+	_, rep, err := sys.RapidTrain(braggRequest(t, input, "scratch-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FineTuned {
+		t.Fatal("expected scratch path below threshold")
+	}
+	if rep.Foundation != "" {
+		t.Fatalf("foundation = %q", rep.Foundation)
+	}
+}
+
+func TestRapidTrainValidations(t *testing.T) {
+	sys := buildSystem(t)
+	if _, _, err := sys.RapidTrain(Request{}); err == nil {
+		t.Fatal("expected error for empty request")
+	}
+	rng := rand.New(rand.NewSource(11))
+	input := regimeAt(0).Generate(rng, 4)
+	if _, _, err := sys.RapidTrain(Request{Input: input}); err == nil {
+		t.Fatal("expected error for missing factory")
+	}
+}
+
+func TestFineTuneConvergesFasterThanScratch(t *testing.T) {
+	// The core claim of the paper: fine-tuning from the JSD-matched
+	// foundation reaches the loss target in fewer epochs than training
+	// from random initialization. Uses well-pre-trained zoo models so the
+	// foundation starts near the target.
+	sys := buildSystemSized(t, 150, 40)
+	rng := rand.New(rand.NewSource(12))
+	input := regimeAt(1).Generate(rng, 100)
+
+	// Pick a target between the foundation's starting loss and scratch's:
+	// first measure where the foundation starts.
+	rec, err := sys.Zoo.Get("model-r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := models.NewBraggNN(rand.New(rand.NewSource(99)), testPatch)
+	if err := probe.Net.LoadState(rec.State); err != nil {
+		t.Fatal(err)
+	}
+	px, _ := fairds.Collate(input)
+	foundationLoss := nn.Evaluate(probe.Net, px, probe.Targets(labelsOf(input)), nn.MSE)
+	target := foundationLoss * 1.5 // reachable quickly from the foundation
+
+	req := braggRequest(t, input, "ft")
+	req.Train = nn.TrainConfig{Epochs: 80, BatchSize: 32, TargetLoss: target, Seed: 13}
+	_, repFT, err := sys.RapidTrain(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys2 := buildSystemSized(t, 150, 40)
+	sys2.cfg.JSDThreshold = 1e-12 // force scratch
+	req2 := braggRequest(t, input, "sc")
+	req2.Train = req.Train
+	_, repSC, err := sys2.RapidTrain(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !repFT.Result.Converged {
+		t.Fatalf("fine-tune did not converge in %d epochs to %.4f (val=%v)",
+			repFT.Result.Epochs, target, last(repFT.Result.ValLoss))
+	}
+	if repSC.Result.Converged && repSC.Result.Epochs <= repFT.Result.Epochs {
+		t.Fatalf("scratch (%d epochs) not slower than fine-tune (%d epochs)",
+			repSC.Result.Epochs, repFT.Result.Epochs)
+	}
+}
+
+func last(xs []float64) float64 {
+	if len(xs) == 0 {
+		return -1
+	}
+	return xs[len(xs)-1]
+}
+
+func TestCheckDatasetTriggersRefresh(t *testing.T) {
+	sys := buildSystem(t)
+	refreshed := false
+	sys.SetRefresh(func(cert float64) error {
+		refreshed = true
+		return nil
+	})
+
+	// Familiar data: high certainty, no trigger.
+	rng := rand.New(rand.NewSource(14))
+	familiar := regimeAt(0).Generate(rng, 40)
+	cert, triggered, err := sys.CheckDataset(familiar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if triggered || refreshed {
+		t.Fatalf("trigger fired on familiar data (certainty %.3f)", cert)
+	}
+
+	// Radically novel data: certainty collapse → trigger.
+	novel := datagen.DefaultBraggRegime()
+	novel.Patch = testPatch
+	novel.WidthMean = 6
+	novel.AmpMean = 120
+	novel.Noise = 4
+	nsamples := novel.Generate(rng, 40)
+	certN, triggeredN, err := sys.CheckDataset(nsamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if certN >= cert {
+		t.Fatalf("novel certainty %.3f not below familiar %.3f", certN, cert)
+	}
+	if !triggeredN || !refreshed {
+		t.Fatalf("trigger did not fire at certainty %.3f", certN)
+	}
+}
+
+func TestRefreshErrorPropagates(t *testing.T) {
+	sys := buildSystem(t)
+	boom := errors.New("refresh failed")
+	sys.SetRefresh(func(float64) error { return boom })
+	rng := rand.New(rand.NewSource(15))
+	novel := datagen.DefaultBraggRegime()
+	novel.Patch = testPatch
+	novel.WidthMean = 6
+	novel.AmpMean = 120
+	novel.Noise = 4
+	_, _, err := sys.CheckDataset(novel.Generate(rng, 30))
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped refresh error", err)
+	}
+}
+
+func TestSplitSizes(t *testing.T) {
+	x := tensor.New(10, 2)
+	y := tensor.New(10, 1)
+	tx, ty, vx, vy := split(x, y, 0.2, 1)
+	if tx.Dim(0) != 8 || vx.Dim(0) != 2 || ty.Dim(0) != 8 || vy.Dim(0) != 2 {
+		t.Fatalf("split sizes %d/%d", tx.Dim(0), vx.Dim(0))
+	}
+	// Tiny sets still keep at least one row on each side.
+	tx, _, vx, _ = split(tensor.New(2, 1), tensor.New(2, 1), 0.9, 1)
+	if tx.Dim(0) < 1 || vx.Dim(0) < 1 {
+		t.Fatal("degenerate split")
+	}
+}

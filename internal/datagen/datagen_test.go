@@ -1,0 +1,265 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairdms/internal/codec"
+	"fairdms/internal/stats"
+)
+
+func TestPoissonMeanAndVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, mean := range []float64{0.5, 4, 30, 200} {
+		n := 4000
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = Poisson(rng, mean)
+		}
+		m := stats.Mean(xs)
+		v := stats.StdDev(xs)
+		if math.Abs(m-mean) > 4*math.Sqrt(mean/float64(n))*math.Sqrt(mean)+0.5 {
+			t.Fatalf("mean %g: sample mean %g too far", mean, m)
+		}
+		// Poisson variance ≈ mean.
+		if math.Abs(v*v-mean)/mean > 0.3 {
+			t.Fatalf("mean %g: sample variance %g too far from mean", mean, v*v)
+		}
+	}
+	if Poisson(rng, 0) != 0 || Poisson(rng, -3) != 0 {
+		t.Fatal("non-positive mean must yield 0")
+	}
+}
+
+func TestBraggGenerateLabeledPatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := DefaultBraggRegime()
+	samples := r.Generate(rng, 20)
+	if len(samples) != 20 {
+		t.Fatalf("generated %d", len(samples))
+	}
+	for i, s := range samples {
+		if s.Dtype != codec.F32 {
+			t.Fatalf("sample %d dtype %v", i, s.Dtype)
+		}
+		if len(s.Shape) != 2 || s.Shape[0] != 15 || s.Shape[1] != 15 {
+			t.Fatalf("sample %d shape %v", i, s.Shape)
+		}
+		if len(s.Label) != 2 {
+			t.Fatalf("sample %d label %v", i, s.Label)
+		}
+		// The true center stays within the patch.
+		if s.Label[0] < 0 || s.Label[0] > 14 || s.Label[1] < 0 || s.Label[1] > 14 {
+			t.Fatalf("sample %d center out of patch: %v", i, s.Label)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBraggPeakIsNearLabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := DefaultBraggRegime()
+	r.Noise = 0 // noiseless: the brightest pixel must sit at the center
+	for trial := 0; trial < 10; trial++ {
+		s := r.GenerateOne(rng)
+		img := s.Floats()
+		best, at := math.Inf(-1), 0
+		for i, v := range img {
+			if v > best {
+				best, at = v, i
+			}
+		}
+		px, py := float64(at%15), float64(at/15)
+		if math.Abs(px-s.Label[0]) > 1 || math.Abs(py-s.Label[1]) > 1 {
+			t.Fatalf("brightest pixel (%g,%g) far from label %v", px, py, s.Label)
+		}
+	}
+}
+
+func TestBraggDriftShiftsWidths(t *testing.T) {
+	s := DefaultBraggDrift(10)
+	pre := s.RegimeAt(9)
+	post := s.RegimeAt(10)
+	if post.WidthMean <= pre.WidthMean+1 {
+		t.Fatalf("drift jump too small: %g -> %g", pre.WidthMean, post.WidthMean)
+	}
+	if post.EtaMean <= pre.EtaMean {
+		t.Fatal("eta must jump at drift")
+	}
+	// Slow drift within a phase.
+	if s.RegimeAt(5).WidthMean <= s.RegimeAt(0).WidthMean {
+		t.Fatal("slow drift missing")
+	}
+}
+
+func TestBraggExperimentShape(t *testing.T) {
+	seq := DefaultBraggDrift(3).BraggExperiment(7, 5, 8)
+	if len(seq) != 5 {
+		t.Fatalf("experiment has %d datasets", len(seq))
+	}
+	for i, ds := range seq {
+		if len(ds) != 8 {
+			t.Fatalf("dataset %d has %d samples", i, len(ds))
+		}
+	}
+}
+
+func TestBraggExperimentDeterministic(t *testing.T) {
+	a := DefaultBraggDrift(2).BraggExperiment(5, 3, 4)
+	b := DefaultBraggDrift(2).BraggExperiment(5, 3, 4)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j].Label[0] != b[i][j].Label[0] {
+				t.Fatal("experiment not deterministic for fixed seed")
+			}
+		}
+	}
+}
+
+func TestCookieDensityUnitMass(t *testing.T) {
+	r := DefaultCookieRegime()
+	d := r.Density()
+	sum := 0.0
+	for _, v := range d {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("density mass %g, want 1", sum)
+	}
+}
+
+func TestCookieAnisotropyVisible(t *testing.T) {
+	r := DefaultCookieRegime()
+	d := r.Density()
+	n := r.Size
+	// Channel intensities must vary around the ring when Beta > 0.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for ch := 0; ch < n; ch++ {
+		rowSum := 0.0
+		for e := 0; e < n; e++ {
+			rowSum += d[ch*n+e]
+		}
+		if rowSum < lo {
+			lo = rowSum
+		}
+		if rowSum > hi {
+			hi = rowSum
+		}
+	}
+	// β = 0.6 gives a (1+β)/(1−β) = 4× modulation between the brightest
+	// and dimmest channels.
+	if hi/lo < 2 {
+		t.Fatalf("angular modulation hi/lo = %g, want >= 2", hi/lo)
+	}
+	// And with Beta = 0 the ring is flat.
+	flat := r
+	flat.Beta = 0
+	df := flat.Density()
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for ch := 0; ch < n; ch++ {
+		rowSum := 0.0
+		for e := 0; e < n; e++ {
+			rowSum += df[ch*n+e]
+		}
+		if rowSum < lo {
+			lo = rowSum
+		}
+		if rowSum > hi {
+			hi = rowSum
+		}
+	}
+	if hi/lo > 1.0001 {
+		t.Fatalf("isotropic regime still modulated: %g", hi/lo)
+	}
+}
+
+func TestCookieGenerateQuantized(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	r := DefaultCookieRegime()
+	s := r.GenerateOne(rng)
+	if s.Dtype != codec.U8 {
+		t.Fatalf("dtype %v", s.Dtype)
+	}
+	if len(s.Label) != r.Size*r.Size {
+		t.Fatalf("label dim %d, want %d", len(s.Label), r.Size*r.Size)
+	}
+	for _, v := range s.Floats() {
+		if v < 0 || v > 255 {
+			t.Fatalf("pixel %g outside u8 range", v)
+		}
+	}
+}
+
+func TestCookieDriftChangesDensity(t *testing.T) {
+	s := DefaultCookieDrift()
+	d0 := s.RegimeAt(0).Density()
+	d9 := s.RegimeAt(9).Density()
+	diff := 0.0
+	for i := range d0 {
+		diff += math.Abs(d0[i] - d9[i])
+	}
+	if diff < 0.1 {
+		t.Fatalf("drift barely changes density: L1=%g", diff)
+	}
+	if s.RegimeAt(9).Counts >= s.RegimeAt(0).Counts {
+		t.Fatal("counts must decay over time")
+	}
+}
+
+func TestCookieExperimentShape(t *testing.T) {
+	seq := DefaultCookieDrift().CookieExperiment(11, 4, 3)
+	if len(seq) != 4 || len(seq[0]) != 3 {
+		t.Fatalf("experiment shape %dx%d", len(seq), len(seq[0]))
+	}
+}
+
+func TestTomoGenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := DefaultTomoRegime()
+	s := r.GenerateOne(rng)
+	if s.Dtype != codec.U16 {
+		t.Fatalf("dtype %v", s.Dtype)
+	}
+	if s.Shape[0] != 64 || s.Shape[1] != 64 {
+		t.Fatalf("shape %v", s.Shape)
+	}
+	// Phantom structure: interior pixels must be brighter than the frame
+	// average (ellipses are centered).
+	img := s.Floats()
+	n := r.Size
+	var center, edge float64
+	var nc, ne int
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			if x > n/3 && x < 2*n/3 && y > n/3 && y < 2*n/3 {
+				center += img[y*n+x]
+				nc++
+			}
+			if x < 2 || y < 2 || x >= n-2 || y >= n-2 {
+				edge += img[y*n+x]
+				ne++
+			}
+		}
+	}
+	if center/float64(nc) <= edge/float64(ne) {
+		t.Fatal("phantom has no central structure")
+	}
+}
+
+func TestTomoDoseControlsNoise(t *testing.T) {
+	// Relative noise should drop with dose; compare coefficient of
+	// variation of a flat region across two doses.
+	lowRegime := TomoRegime{Size: 32, Ellipses: 0, Dose: 50}
+	highRegime := TomoRegime{Size: 32, Ellipses: 0, Dose: 5000}
+	rngA := rand.New(rand.NewSource(6))
+	rngB := rand.New(rand.NewSource(6))
+	low := lowRegime.GenerateOne(rngA).Floats()
+	high := highRegime.GenerateOne(rngB).Floats()
+	cv := func(xs []float64) float64 { return stats.StdDev(xs) / stats.Mean(xs) }
+	if cv(low) <= cv(high) {
+		t.Fatalf("low dose CV %g should exceed high dose CV %g", cv(low), cv(high))
+	}
+}

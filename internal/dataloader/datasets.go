@@ -1,0 +1,67 @@
+package dataloader
+
+import (
+	"fmt"
+
+	"fairdms/internal/codec"
+	"fairdms/internal/docstore"
+	"fairdms/internal/filestore"
+)
+
+// InMemory is a Dataset over a slice of samples, the zero-I/O baseline.
+type InMemory struct{ Samples []*codec.Sample }
+
+// Len returns the number of samples.
+func (d *InMemory) Len() int { return len(d.Samples) }
+
+// Get returns sample i.
+func (d *InMemory) Get(i int) (*codec.Sample, error) {
+	if i < 0 || i >= len(d.Samples) {
+		return nil, fmt.Errorf("dataloader: index %d out of range [0, %d)", i, len(d.Samples))
+	}
+	return d.Samples[i], nil
+}
+
+// FileDataset reads samples from a filestore — the "NFS" configuration of
+// the paper's storage study.
+type FileDataset struct{ Store *filestore.Store }
+
+// Len returns the number of stored samples.
+func (d *FileDataset) Len() int { return d.Store.Len() }
+
+// Get reads and decodes sample i from disk.
+func (d *FileDataset) Get(i int) (*codec.Sample, error) { return d.Store.Get(i) }
+
+// DocDataset reads codec-encoded sample payloads from a remote docstore —
+// the "MongoDB + Blosc/Pickle" configurations of the paper's storage study.
+// Each document must carry the encoded sample bytes under PayloadField.
+type DocDataset struct {
+	Client       *docstore.Client
+	Collection   string
+	IDs          []string // document IDs in dataset order
+	Codec        codec.Codec
+	PayloadField string // default "payload"
+}
+
+// Len returns the number of addressable documents.
+func (d *DocDataset) Len() int { return len(d.IDs) }
+
+// Get fetches document i over the wire and decodes its payload.
+func (d *DocDataset) Get(i int) (*codec.Sample, error) {
+	if i < 0 || i >= len(d.IDs) {
+		return nil, fmt.Errorf("dataloader: index %d out of range [0, %d)", i, len(d.IDs))
+	}
+	field := d.PayloadField
+	if field == "" {
+		field = "payload"
+	}
+	doc, err := d.Client.Get(d.Collection, d.IDs[i])
+	if err != nil {
+		return nil, err
+	}
+	raw, ok := doc.F[field].([]byte)
+	if !ok {
+		return nil, fmt.Errorf("dataloader: doc %s field %q is %T, want []byte", d.IDs[i], field, doc.F[field])
+	}
+	return d.Codec.Decode(raw)
+}

@@ -1,0 +1,147 @@
+package docstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchCollection(n int) *Collection {
+	c := NewStore().Collection("bench")
+	c.CreateHashIndex("cluster")
+	batch := make([]Fields, n)
+	for i := range batch {
+		batch[i] = Fields{"cluster": i % 16, "v": float64(i), "payload": make([]byte, 256)}
+	}
+	c.InsertMany(batch)
+	return c
+}
+
+func BenchmarkInsert(b *testing.B) {
+	c := NewStore().Collection("bench")
+	c.CreateHashIndex("cluster")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Insert("", Fields{"cluster": i % 16, "v": i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertMany100(b *testing.B) {
+	c := NewStore().Collection("bench")
+	batch := make([]Fields, 100)
+	for i := range batch {
+		batch[i] = Fields{"cluster": i % 16}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.InsertMany(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFindIndexed vs BenchmarkFindScan is the index ablation: the
+// same equality query against an indexed vs unindexed field.
+func BenchmarkFindIndexed(b *testing.B) {
+	c := benchCollection(4096)
+	q := Query{Filters: []Filter{Eq("cluster", 7)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.FindIDs(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindScan(b *testing.B) {
+	c := benchCollection(4096)
+	q := Query{Filters: []Filter{Eq("v", 7.0)}} // unindexed field
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.FindIDs(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFindProjected vs BenchmarkFindFull is the projection ablation:
+// fetching only a small field vs whole documents with payloads.
+func BenchmarkFindProjected(b *testing.B) {
+	c := benchCollection(2048)
+	q := Query{Filters: []Filter{Eq("cluster", 3)}, Project: []string{"v"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Find(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindFull(b *testing.B) {
+	c := benchCollection(2048)
+	q := Query{Filters: []Filter{Eq("cluster", 3)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Find(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRemote(b *testing.B, pool int) {
+	srv := NewServer(NewStore(), ServerConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(addr, pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	var ids []string
+	for i := 0; i < 64; i++ {
+		id, err := cl.Insert("c", "", Fields{"payload": make([]byte, 1024)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := cl.Get("c", ids[i%len(ids)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkRemoteGetPool1(b *testing.B) { benchRemote(b, 1) }
+func BenchmarkRemoteGetPool8(b *testing.B) { benchRemote(b, 8) }
+
+func BenchmarkSampleIDs(b *testing.B) {
+	c := benchCollection(4096)
+	q := Query{Filters: []Filter{Eq("cluster", 5)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.SampleIDs(q, 32, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchSink []string
+
+func BenchmarkAllIDs(b *testing.B) {
+	c := benchCollection(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = c.AllIDs()
+	}
+	_ = fmt.Sprint(len(benchSink))
+}

@@ -1,0 +1,264 @@
+package docstore
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a pooled TCP client for a docstore Server. A pool of persistent
+// connections lets many goroutines (e.g. DataLoader workers) issue requests
+// concurrently — the paper's "fetch using multiple clients" extension of the
+// PyTorch DataLoader (§III-D). Client is safe for concurrent use.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	total  int
+	max    int
+	closed bool
+}
+
+type clientConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects a client pool of up to poolSize persistent connections to
+// the server at addr. Connections are created lazily.
+func Dial(addr string, poolSize int) (*Client, error) {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	c := &Client{addr: addr, timeout: 10 * time.Second, max: poolSize}
+	// Probe connectivity eagerly so misconfiguration fails fast.
+	if err := c.Ping(); err != nil {
+		return nil, fmt.Errorf("docstore: dial %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// acquire returns an idle connection or dials a new one.
+func (c *Client) acquire() (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("docstore: client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.total++
+	c.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		c.mu.Lock()
+		c.total--
+		c.mu.Unlock()
+		return nil, err
+	}
+	return &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// release returns a healthy connection to the pool (or closes it if the
+// pool is full or shut down).
+func (c *Client) release(cc *clientConn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.max {
+		c.idle = append(c.idle, cc)
+		c.mu.Unlock()
+		return
+	}
+	c.total--
+	c.mu.Unlock()
+	cc.conn.Close()
+}
+
+// discard closes a broken connection.
+func (c *Client) discard(cc *clientConn) {
+	c.mu.Lock()
+	c.total--
+	c.mu.Unlock()
+	cc.conn.Close()
+}
+
+// roundTrip sends one request and reads one response, retrying once on a
+// broken pooled connection (the peer may have dropped it between uses).
+func (c *Client) roundTrip(req *request) (*response, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		cc, err := c.acquire()
+		if err != nil {
+			return nil, err
+		}
+		if err := cc.enc.Encode(req); err != nil {
+			c.discard(cc)
+			lastErr = err
+			continue
+		}
+		var resp response
+		if err := cc.dec.Decode(&resp); err != nil {
+			c.discard(cc)
+			lastErr = err
+			continue
+		}
+		c.release(cc)
+		if resp.Err != "" {
+			return nil, errors.New(resp.Err)
+		}
+		return &resp, nil
+	}
+	return nil, fmt.Errorf("docstore: request failed after retry: %w", lastErr)
+}
+
+// Ping verifies connectivity.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&request{Op: opPing})
+	return err
+}
+
+// Insert stores a document in the named collection, returning its ID.
+func (c *Client) Insert(collection, id string, f Fields) (string, error) {
+	resp, err := c.roundTrip(&request{Op: opInsert, Collection: collection, ID: id, Fields: f})
+	if err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// InsertMany bulk-inserts documents, returning their IDs in order.
+func (c *Client) InsertMany(collection string, batch []Fields) ([]string, error) {
+	resp, err := c.roundTrip(&request{Op: opInsertMany, Collection: collection, Batch: batch})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// Get fetches one document by ID.
+func (c *Client) Get(collection, id string) (*Doc, error) {
+	resp, err := c.roundTrip(&request{Op: opGet, Collection: collection, ID: id})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Docs) != 1 {
+		return nil, fmt.Errorf("docstore: get returned %d docs", len(resp.Docs))
+	}
+	d := resp.Docs[0]
+	return &d, nil
+}
+
+// GetMany fetches documents by ID, in order.
+func (c *Client) GetMany(collection string, ids []string) ([]*Doc, error) {
+	resp, err := c.roundTrip(&request{Op: opGetMany, Collection: collection, IDs: ids})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Doc, len(resp.Docs))
+	for i := range resp.Docs {
+		d := resp.Docs[i]
+		out[i] = &d
+	}
+	return out, nil
+}
+
+// Update merges fields into an existing document.
+func (c *Client) Update(collection, id string, f Fields) error {
+	_, err := c.roundTrip(&request{Op: opUpdate, Collection: collection, ID: id, Fields: f})
+	return err
+}
+
+// Delete removes a document.
+func (c *Client) Delete(collection, id string) error {
+	_, err := c.roundTrip(&request{Op: opDelete, Collection: collection, ID: id})
+	return err
+}
+
+// Find returns documents matching the query.
+func (c *Client) Find(collection string, q Query) ([]*Doc, error) {
+	resp, err := c.roundTrip(&request{Op: opFind, Collection: collection, Query: q})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Doc, len(resp.Docs))
+	for i := range resp.Docs {
+		d := resp.Docs[i]
+		out[i] = &d
+	}
+	return out, nil
+}
+
+// FindIDs returns the IDs of documents matching the query.
+func (c *Client) FindIDs(collection string, q Query) ([]string, error) {
+	resp, err := c.roundTrip(&request{Op: opFindIDs, Collection: collection, Query: q})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// Count returns how many documents match the query.
+func (c *Client) Count(collection string, q Query) (int, error) {
+	resp, err := c.roundTrip(&request{Op: opCount, Collection: collection, Query: q})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// SampleIDs draws up to n matching document IDs uniformly at random.
+func (c *Client) SampleIDs(collection string, q Query, n int, seed int64) ([]string, error) {
+	resp, err := c.roundTrip(&request{Op: opSample, Collection: collection, Query: q, N: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// CreateHashIndex builds an equality index on the server.
+func (c *Client) CreateHashIndex(collection, field string) error {
+	_, err := c.roundTrip(&request{Op: opCreateHashIndex, Collection: collection, Field: field})
+	return err
+}
+
+// CreateOrderedIndex builds a range index on the server.
+func (c *Client) CreateOrderedIndex(collection, field string) error {
+	_, err := c.roundTrip(&request{Op: opCreateOrderedIndex, Collection: collection, Field: field})
+	return err
+}
+
+// Collections lists collection names.
+func (c *Client) Collections() ([]string, error) {
+	resp, err := c.roundTrip(&request{Op: opNames})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// Drop removes a collection.
+func (c *Client) Drop(collection string) error {
+	_, err := c.roundTrip(&request{Op: opDrop, Collection: collection})
+	return err
+}
+
+// Close shuts the pool down.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, cc := range c.idle {
+		cc.conn.Close()
+	}
+	c.idle = nil
+}

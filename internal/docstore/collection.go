@@ -1,0 +1,521 @@
+package docstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Collection is a concurrently accessible set of documents with optional
+// secondary indexes. All exported methods are safe for parallel use.
+type Collection struct {
+	mu      sync.RWMutex
+	name    string
+	docs    map[string]*Doc
+	nextID  uint64
+	hashIdx map[string]map[string]map[string]struct{} // field → key → id set
+	ordIdx  map[string][]ordEntry                     // field → sorted entries
+}
+
+type ordEntry struct {
+	key float64
+	id  string
+}
+
+func newCollection(name string) *Collection {
+	return &Collection{
+		name:    name,
+		docs:    make(map[string]*Doc),
+		hashIdx: make(map[string]map[string]map[string]struct{}),
+		ordIdx:  make(map[string][]ordEntry),
+	}
+}
+
+// Name returns the collection's name.
+func (c *Collection) Name() string { return c.name }
+
+// Count returns the number of stored documents.
+func (c *Collection) Count() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// CreateHashIndex builds an equality index over field, indexing existing
+// documents. Indexing a field twice is a no-op.
+func (c *Collection) CreateHashIndex(field string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.hashIdx[field]; ok {
+		return nil
+	}
+	idx := make(map[string]map[string]struct{})
+	for id, d := range c.docs {
+		if v, ok := d.F[field]; ok {
+			key, err := indexKey(v)
+			if err != nil {
+				return fmt.Errorf("docstore: indexing %s.%s: %w", c.name, field, err)
+			}
+			addToHash(idx, key, id)
+		}
+	}
+	c.hashIdx[field] = idx
+	return nil
+}
+
+// CreateOrderedIndex builds a range index over a numeric field.
+func (c *Collection) CreateOrderedIndex(field string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.ordIdx[field]; ok {
+		return nil
+	}
+	var entries []ordEntry
+	for id, d := range c.docs {
+		if v, ok := d.F[field]; ok {
+			f, ok := asFloat(v)
+			if !ok {
+				return fmt.Errorf("docstore: ordered index %s.%s: non-numeric value %T", c.name, field, v)
+			}
+			entries = append(entries, ordEntry{key: f, id: id})
+		}
+	}
+	sortOrd(entries)
+	c.ordIdx[field] = entries
+	return nil
+}
+
+// Indexes lists indexed fields (hash and ordered).
+func (c *Collection) Indexes() (hash, ordered []string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for f := range c.hashIdx {
+		hash = append(hash, f)
+	}
+	for f := range c.ordIdx {
+		ordered = append(ordered, f)
+	}
+	sort.Strings(hash)
+	sort.Strings(ordered)
+	return
+}
+
+// Insert stores a document. If id is empty a sequential one is assigned.
+// It returns the document's ID, or an error if the ID already exists or a
+// field type is unsupported.
+func (c *Collection) Insert(id string, f Fields) (string, error) {
+	nf, err := normalizeFields(f)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id == "" {
+		c.nextID++
+		id = fmt.Sprintf("%s-%08d", c.name, c.nextID)
+	}
+	if _, exists := c.docs[id]; exists {
+		return "", fmt.Errorf("docstore: duplicate id %q in collection %q", id, c.name)
+	}
+	d := &Doc{ID: id, F: nf}
+	c.docs[id] = d
+	if err := c.indexDocLocked(d); err != nil {
+		delete(c.docs, id)
+		return "", err
+	}
+	return id, nil
+}
+
+// InsertMany stores a batch of documents under generated IDs, returning
+// them in order. It acquires the write lock once for the whole batch,
+// which is the paper's "parallel writes during the data update phase"
+// fast path for bulk label ingestion.
+func (c *Collection) InsertMany(fs []Fields) ([]string, error) {
+	norm := make([]Fields, len(fs))
+	for i, f := range fs {
+		nf, err := normalizeFields(f)
+		if err != nil {
+			return nil, fmt.Errorf("docstore: batch item %d: %w", i, err)
+		}
+		norm[i] = nf
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, len(norm))
+	for i, nf := range norm {
+		c.nextID++
+		id := fmt.Sprintf("%s-%08d", c.name, c.nextID)
+		d := &Doc{ID: id, F: nf}
+		c.docs[id] = d
+		if err := c.indexDocLocked(d); err != nil {
+			// Roll back this batch item and stop; earlier items remain.
+			delete(c.docs, id)
+			return ids[:i], err
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// Get returns a copy of the document with the given ID.
+func (c *Collection) Get(id string) (*Doc, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return nil, fmt.Errorf("docstore: id %q not found in collection %q", id, c.name)
+	}
+	return &Doc{ID: d.ID, F: cloneFields(d.F)}, nil
+}
+
+// GetMany returns copies of the documents with the given IDs, in order.
+// Missing IDs produce an error naming the first absent one.
+func (c *Collection) GetMany(ids []string) ([]*Doc, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Doc, len(ids))
+	for i, id := range ids {
+		d, ok := c.docs[id]
+		if !ok {
+			return nil, fmt.Errorf("docstore: id %q not found in collection %q", id, c.name)
+		}
+		out[i] = &Doc{ID: d.ID, F: cloneFields(d.F)}
+	}
+	return out, nil
+}
+
+// Update merges fields into an existing document (set semantics), updating
+// any affected indexes.
+func (c *Collection) Update(id string, f Fields) error {
+	nf, err := normalizeFields(f)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return fmt.Errorf("docstore: id %q not found in collection %q", id, c.name)
+	}
+	c.unindexDocLocked(d)
+	for k, v := range nf {
+		d.F[k] = v
+	}
+	return c.indexDocLocked(d)
+}
+
+// Delete removes a document.
+func (c *Collection) Delete(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return fmt.Errorf("docstore: id %q not found in collection %q", id, c.name)
+	}
+	c.unindexDocLocked(d)
+	delete(c.docs, id)
+	return nil
+}
+
+// Find returns copies of documents matching the query, using indexes when
+// the query's filters allow it. With Query.Project set, returned documents
+// carry only the projected fields.
+func (c *Collection) Find(q Query) ([]*Doc, error) {
+	ids, err := c.FindIDs(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Project) == 0 {
+		return c.GetMany(ids)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Doc, len(ids))
+	for i, id := range ids {
+		d, ok := c.docs[id]
+		if !ok {
+			return nil, fmt.Errorf("docstore: id %q not found in collection %q", id, c.name)
+		}
+		f := make(Fields, len(q.Project))
+		for _, field := range q.Project {
+			if v, ok := d.F[field]; ok {
+				f[field] = v
+			}
+		}
+		out[i] = &Doc{ID: d.ID, F: f}
+	}
+	return out, nil
+}
+
+// FindIDs returns the IDs of matching documents in deterministic order.
+func (c *Collection) FindIDs(q Query) ([]string, error) {
+	c.mu.RLock()
+	candidates, rest := c.candidateIDsLocked(q)
+	var matched []string
+	for _, id := range candidates {
+		d := c.docs[id]
+		if d == nil {
+			continue
+		}
+		ok := true
+		for _, f := range rest {
+			if !f.matches(d) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			matched = append(matched, id)
+		}
+	}
+	// Ordering: by sort field if given, else by ID.
+	if q.SortBy != "" {
+		docs := c.docs
+		sort.SliceStable(matched, func(i, j int) bool {
+			vi, vj := docs[matched[i]].F[q.SortBy], docs[matched[j]].F[q.SortBy]
+			cmp, ok := compareValues(vi, vj)
+			if !ok {
+				return matched[i] < matched[j]
+			}
+			if q.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		})
+	} else {
+		sortIDs(matched)
+		if q.Desc {
+			for i, j := 0, len(matched)-1; i < j; i, j = i+1, j-1 {
+				matched[i], matched[j] = matched[j], matched[i]
+			}
+		}
+	}
+	c.mu.RUnlock()
+
+	if q.Offset > 0 {
+		if q.Offset >= len(matched) {
+			return nil, nil
+		}
+		matched = matched[q.Offset:]
+	}
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
+	}
+	return matched, nil
+}
+
+// CountWhere returns how many documents match the query.
+func (c *Collection) CountWhere(q Query) (int, error) {
+	q.Limit = 0
+	q.Offset = 0
+	ids, err := c.FindIDs(q)
+	return len(ids), err
+}
+
+// SampleIDs returns up to n document IDs drawn uniformly without
+// replacement from documents matching the query, using the given seed.
+// fairDS uses this to draw labeled historical samples per cluster
+// according to the input dataset's PDF.
+func (c *Collection) SampleIDs(q Query, n int, seed int64) ([]string, error) {
+	ids, err := c.FindIDs(q)
+	if err != nil {
+		return nil, err
+	}
+	if n >= len(ids) {
+		return ids, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	out := ids[:n]
+	sortIDs(out)
+	return out, nil
+}
+
+// AllIDs returns every document ID in sorted order.
+func (c *Collection) AllIDs() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := make([]string, 0, len(c.docs))
+	for id := range c.docs {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	return ids
+}
+
+// candidateIDsLocked picks the cheapest access path for the query: the
+// smallest matching hash-index bucket, an ordered-index range scan, or a
+// full collection scan. It returns candidate IDs plus the filters that
+// still need evaluation. Caller holds at least the read lock.
+func (c *Collection) candidateIDsLocked(q Query) ([]string, []Filter) {
+	bestSize := -1
+	bestFilter := -1
+	var bestIDs []string
+
+	// Equality filters on hash-indexed fields.
+	for i, f := range q.Filters {
+		if f.Op != OpEq {
+			continue
+		}
+		idx, ok := c.hashIdx[f.Field]
+		if !ok {
+			continue
+		}
+		key, err := indexKey(f.Value)
+		if err != nil {
+			continue
+		}
+		bucket := idx[key]
+		if bestSize < 0 || len(bucket) < bestSize {
+			bestSize = len(bucket)
+			bestFilter = i
+			bestIDs = bestIDs[:0]
+			for id := range bucket {
+				bestIDs = append(bestIDs, id)
+			}
+		}
+	}
+	if bestFilter >= 0 {
+		rest := make([]Filter, 0, len(q.Filters)-1)
+		rest = append(rest, q.Filters[:bestFilter]...)
+		rest = append(rest, q.Filters[bestFilter+1:]...)
+		return bestIDs, rest
+	}
+
+	// Range filters on ordered-indexed fields.
+	for i, f := range q.Filters {
+		if f.Op != OpLt && f.Op != OpLte && f.Op != OpGt && f.Op != OpGte {
+			continue
+		}
+		entries, ok := c.ordIdx[f.Field]
+		if !ok {
+			continue
+		}
+		pivot, ok := asFloat(f.Value)
+		if !ok {
+			continue
+		}
+		var ids []string
+		switch f.Op {
+		case OpLt:
+			hi := sort.Search(len(entries), func(j int) bool { return entries[j].key >= pivot })
+			for _, e := range entries[:hi] {
+				ids = append(ids, e.id)
+			}
+		case OpLte:
+			hi := sort.Search(len(entries), func(j int) bool { return entries[j].key > pivot })
+			for _, e := range entries[:hi] {
+				ids = append(ids, e.id)
+			}
+		case OpGt:
+			lo := sort.Search(len(entries), func(j int) bool { return entries[j].key > pivot })
+			for _, e := range entries[lo:] {
+				ids = append(ids, e.id)
+			}
+		case OpGte:
+			lo := sort.Search(len(entries), func(j int) bool { return entries[j].key >= pivot })
+			for _, e := range entries[lo:] {
+				ids = append(ids, e.id)
+			}
+		}
+		rest := make([]Filter, 0, len(q.Filters)-1)
+		rest = append(rest, q.Filters[:i]...)
+		rest = append(rest, q.Filters[i+1:]...)
+		return ids, rest
+	}
+
+	// Full scan.
+	ids := make([]string, 0, len(c.docs))
+	for id := range c.docs {
+		ids = append(ids, id)
+	}
+	return ids, q.Filters
+}
+
+// indexDocLocked adds the document to every index covering its fields.
+func (c *Collection) indexDocLocked(d *Doc) error {
+	for field, idx := range c.hashIdx {
+		v, ok := d.F[field]
+		if !ok {
+			continue
+		}
+		key, err := indexKey(v)
+		if err != nil {
+			return fmt.Errorf("docstore: indexing %s.%s: %w", c.name, field, err)
+		}
+		addToHash(idx, key, d.ID)
+	}
+	for field := range c.ordIdx {
+		v, ok := d.F[field]
+		if !ok {
+			continue
+		}
+		f, ok := asFloat(v)
+		if !ok {
+			return fmt.Errorf("docstore: ordered index %s.%s: non-numeric value %T", c.name, field, v)
+		}
+		entries := c.ordIdx[field]
+		at := sort.Search(len(entries), func(j int) bool { return entries[j].key >= f })
+		entries = append(entries, ordEntry{})
+		copy(entries[at+1:], entries[at:])
+		entries[at] = ordEntry{key: f, id: d.ID}
+		c.ordIdx[field] = entries
+	}
+	return nil
+}
+
+// unindexDocLocked removes the document from every index.
+func (c *Collection) unindexDocLocked(d *Doc) {
+	for field, idx := range c.hashIdx {
+		v, ok := d.F[field]
+		if !ok {
+			continue
+		}
+		key, err := indexKey(v)
+		if err != nil {
+			continue
+		}
+		if bucket, ok := idx[key]; ok {
+			delete(bucket, d.ID)
+			if len(bucket) == 0 {
+				delete(idx, key)
+			}
+		}
+	}
+	for field, entries := range c.ordIdx {
+		v, ok := d.F[field]
+		if !ok {
+			continue
+		}
+		f, ok := asFloat(v)
+		if !ok {
+			continue
+		}
+		lo := sort.Search(len(entries), func(j int) bool { return entries[j].key >= f })
+		for i := lo; i < len(entries) && entries[i].key == f; i++ {
+			if entries[i].id == d.ID {
+				c.ordIdx[field] = append(entries[:i], entries[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func addToHash(idx map[string]map[string]struct{}, key, id string) {
+	bucket, ok := idx[key]
+	if !ok {
+		bucket = make(map[string]struct{})
+		idx[key] = bucket
+	}
+	bucket[id] = struct{}{}
+}
+
+func sortOrd(entries []ordEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key != entries[j].key {
+			return entries[i].key < entries[j].key
+		}
+		return entries[i].id < entries[j].id
+	})
+}

@@ -1,0 +1,182 @@
+// Package docstore is fairDMS's stand-in for MongoDB (paper §II-A): an
+// in-memory NoSQL document store with named collections, schemaless
+// JSON-like documents, primary and secondary indexes (hash for equality,
+// ordered for ranges), and concurrent reads/writes. A TCP server and a
+// pooled client make it a remote store, which is how the paper hosts
+// MongoDB across a 100 GbE link for the Figs. 6–8 storage study.
+//
+// The store supports the five Data Store requirements the paper lists:
+// (i) large stores, (ii) efficient lookup via embedding/cluster indexing,
+// (iii) updates for newly labeled data, (iv) parallel reads during
+// training, and (v) parallel writes during data updates.
+package docstore
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// Fields holds a document's named values. Supported value types are the
+// normalized set: string, int64, float64, bool, []byte, []float64, []string.
+// Insert normalizes int and int32 to int64 and float32 to float64.
+type Fields map[string]any
+
+// Doc is a stored document: an immutable ID plus its fields.
+type Doc struct {
+	ID string
+	F  Fields
+}
+
+func init() {
+	// Register field value types for gob transport.
+	gob.Register(map[string]any{})
+	gob.Register([]byte(nil))
+	gob.Register([]float64(nil))
+	gob.Register([]string(nil))
+	gob.Register([]any(nil))
+}
+
+// normalizeValue converts ints and float32s to the canonical wire types and
+// rejects unsupported types.
+func normalizeValue(v any) (any, error) {
+	switch x := v.(type) {
+	case nil, string, int64, float64, bool, []byte, []float64, []string:
+		return v, nil
+	case int:
+		return int64(x), nil
+	case int32:
+		return int64(x), nil
+	case uint:
+		return int64(x), nil
+	case uint32:
+		return int64(x), nil
+	case float32:
+		return float64(x), nil
+	default:
+		return nil, fmt.Errorf("docstore: unsupported field type %T", v)
+	}
+}
+
+// normalizeFields returns a normalized copy of f.
+func normalizeFields(f Fields) (Fields, error) {
+	out := make(Fields, len(f))
+	for k, v := range f {
+		nv, err := normalizeValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("docstore: field %q: %w", k, err)
+		}
+		out[k] = nv
+	}
+	return out, nil
+}
+
+// cloneFields deep-copies scalar fields; slices are copied shallowly since
+// the store treats stored documents as immutable snapshots.
+func cloneFields(f Fields) Fields {
+	out := make(Fields, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// compareValues orders two normalized values of the same kind. Mixed
+// numeric kinds (int64 vs float64) compare numerically. It returns
+// -1, 0, or +1, and false if the values are not comparable.
+func compareValues(a, b any) (int, bool) {
+	af, aok := asFloat(a)
+	bf, bok := asFloat(b)
+	if aok && bok {
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	as, aok := a.(string)
+	bs, bok2 := b.(string)
+	if aok && bok2 {
+		switch {
+		case as < bs:
+			return -1, true
+		case as > bs:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	ab, aok := a.(bool)
+	bb, bok3 := b.(bool)
+	if aok && bok3 {
+		switch {
+		case ab == bb:
+			return 0, true
+		case !ab:
+			return -1, true
+		default:
+			return 1, true
+		}
+	}
+	return 0, false
+}
+
+// asFloat widens any numeric value — including query-supplied ints that
+// never passed through insert normalization — to float64.
+func asFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	case int32:
+		return float64(x), true
+	case uint:
+		return float64(x), true
+	case uint32:
+		return float64(x), true
+	case float32:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// valuesEqual reports whether two normalized values are equal, treating
+// int64/float64 numerically.
+func valuesEqual(a, b any) bool {
+	if c, ok := compareValues(a, b); ok {
+		return c == 0
+	}
+	return false
+}
+
+// indexKey renders a value as a map key for hash indexes. The value is
+// normalized first so query-side ints and stored int64s share a key.
+func indexKey(v any) (string, error) {
+	v, err := normalizeValue(v)
+	if err != nil {
+		return "", err
+	}
+	switch x := v.(type) {
+	case string:
+		return "s:" + x, nil
+	case int64:
+		// All numerics share one key space so int64(3) and float64(3)
+		// hash identically, matching valuesEqual's numeric semantics.
+		return fmt.Sprintf("n:%g", float64(x)), nil
+	case float64:
+		return fmt.Sprintf("n:%g", x), nil
+	case bool:
+		return fmt.Sprintf("b:%t", x), nil
+	default:
+		return "", fmt.Errorf("docstore: cannot index value of type %T", v)
+	}
+}
+
+// sortIDs sorts document IDs for deterministic results.
+func sortIDs(ids []string) { sort.Strings(ids) }

@@ -1,0 +1,146 @@
+package docstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickRandomOpsKeepIndexesConsistent drives a collection through a
+// random sequence of inserts, updates, and deletes and verifies that both
+// index kinds agree with a brute-force replay on an unindexed collection.
+func TestQuickRandomOpsKeepIndexesConsistent(t *testing.T) {
+	f := func(ops []uint16) bool {
+		indexed := NewStore().Collection("a")
+		if err := indexed.CreateHashIndex("k"); err != nil {
+			return false
+		}
+		if err := indexed.CreateOrderedIndex("t"); err != nil {
+			return false
+		}
+		plain := NewStore().Collection("b")
+		rng := rand.New(rand.NewSource(42))
+
+		var ids []string
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // insert (weighted)
+				k := int(op>>2) % 5
+				ts := float64(op>>4) / 7
+				id := fmt.Sprintf("d%04d", len(ids))
+				if _, err := indexed.Insert(id, Fields{"k": k, "t": ts}); err != nil {
+					return false
+				}
+				if _, err := plain.Insert(id, Fields{"k": k, "t": ts}); err != nil {
+					return false
+				}
+				ids = append(ids, id)
+			case 2: // update
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				nk := int(op>>2) % 5
+				// Both may fail if the doc was deleted; outcomes must agree.
+				e1 := indexed.Update(id, Fields{"k": nk})
+				e2 := plain.Update(id, Fields{"k": nk})
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+			case 3: // delete
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				e1 := indexed.Delete(id)
+				e2 := plain.Delete(id)
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+			}
+		}
+
+		// Every query must agree between the indexed and plain collections.
+		for k := 0; k < 5; k++ {
+			qi, err := indexed.FindIDs(Query{Filters: []Filter{Eq("k", k)}})
+			if err != nil {
+				return false
+			}
+			qp, err := plain.FindIDs(Query{Filters: []Filter{Eq("k", k)}})
+			if err != nil {
+				return false
+			}
+			if !equalIDs(qi, qp) {
+				return false
+			}
+		}
+		for _, pivot := range []float64{0.5, 2, 100} {
+			qi, err := indexed.FindIDs(Query{Filters: []Filter{Lte("t", pivot)}})
+			if err != nil {
+				return false
+			}
+			qp, err := plain.FindIDs(Query{Filters: []Filter{Lte("t", pivot)}})
+			if err != nil {
+				return false
+			}
+			if !equalIDs(qi, qp) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalIDs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickSampleIsSubsetOfMatches: sampling never fabricates documents.
+func TestQuickSampleIsSubsetOfMatches(t *testing.T) {
+	c := NewStore().Collection("x")
+	c.CreateHashIndex("k")
+	for i := 0; i < 60; i++ {
+		c.Insert("", Fields{"k": i % 3})
+	}
+	f := func(nSeed uint8, seed int64) bool {
+		n := int(nSeed % 40)
+		q := Query{Filters: []Filter{Eq("k", 1)}}
+		sampled, err := c.SampleIDs(q, n, seed)
+		if err != nil {
+			return false
+		}
+		all, err := c.FindIDs(q)
+		if err != nil {
+			return false
+		}
+		universe := map[string]bool{}
+		for _, id := range all {
+			universe[id] = true
+		}
+		for _, id := range sampled {
+			if !universe[id] {
+				return false
+			}
+		}
+		want := n
+		if want > len(all) {
+			want = len(all)
+		}
+		return len(sampled) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package docstore
+
+// Wire protocol between Client and Server: each connection carries an
+// alternating stream of gob-encoded request/response pairs. One persistent
+// gob encoder/decoder pair per connection amortizes type descriptors.
+
+type reqOp uint8
+
+const (
+	opPing reqOp = iota + 1
+	opInsert
+	opInsertMany
+	opGet
+	opGetMany
+	opUpdate
+	opDelete
+	opFind
+	opFindIDs
+	opCount
+	opSample
+	opCreateHashIndex
+	opCreateOrderedIndex
+	opNames
+	opDrop
+)
+
+// request is the client→server message.
+type request struct {
+	Op         reqOp
+	Collection string
+	ID         string
+	IDs        []string
+	Fields     Fields
+	Batch      []Fields
+	Query      Query
+	N          int
+	Seed       int64
+	Field      string
+}
+
+// response is the server→client message. Err is empty on success.
+type response struct {
+	Err   string
+	ID    string
+	IDs   []string
+	Docs  []Doc
+	Count int
+	Names []string
+}

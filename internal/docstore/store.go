@@ -1,0 +1,149 @@
+package docstore
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Store is a set of named collections. The zero value is not usable;
+// construct with NewStore.
+type Store struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{collections: make(map[string]*Collection)}
+}
+
+// Collection returns the named collection, creating it if absent.
+func (s *Store) Collection(name string) *Collection {
+	s.mu.RLock()
+	c, ok := s.collections[name]
+	s.mu.RUnlock()
+	if ok {
+		return c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.collections[name]; ok {
+		return c
+	}
+	c = newCollection(name)
+	s.collections[name] = c
+	return c
+}
+
+// Drop removes the named collection and all its documents.
+func (s *Store) Drop(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.collections, name)
+}
+
+// Names lists collection names in sorted order.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.collections))
+	for n := range s.collections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// snapshot is the persisted form of a store.
+type snapshot struct {
+	Collections map[string]collectionSnapshot
+}
+
+type collectionSnapshot struct {
+	NextID  uint64
+	Docs    []Doc
+	HashIdx []string
+	OrdIdx  []string
+}
+
+// Save writes a gzip-compressed snapshot of every collection to path.
+// It holds read locks collection-by-collection, so concurrent writers are
+// only briefly blocked.
+func (s *Store) Save(path string) error {
+	snap := snapshot{Collections: make(map[string]collectionSnapshot)}
+	for _, name := range s.Names() {
+		c := s.Collection(name)
+		c.mu.RLock()
+		cs := collectionSnapshot{NextID: c.nextID}
+		for _, d := range c.docs {
+			cs.Docs = append(cs.Docs, Doc{ID: d.ID, F: cloneFields(d.F)})
+		}
+		for f := range c.hashIdx {
+			cs.HashIdx = append(cs.HashIdx, f)
+		}
+		for f := range c.ordIdx {
+			cs.OrdIdx = append(cs.OrdIdx, f)
+		}
+		c.mu.RUnlock()
+		sort.Slice(cs.Docs, func(i, j int) bool { return cs.Docs[i].ID < cs.Docs[j].ID })
+		snap.Collections[name] = cs
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("docstore: save: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := gob.NewEncoder(zw).Encode(snap); err != nil {
+		return fmt.Errorf("docstore: save encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("docstore: save close: %w", err)
+	}
+	return f.Sync()
+}
+
+// Load reads a snapshot written by Save, replacing the store's contents.
+func Load(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("docstore: load: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("docstore: load gzip: %w", err)
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(zr).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("docstore: load decode: %w", err)
+	}
+	s := NewStore()
+	for name, cs := range snap.Collections {
+		c := s.Collection(name)
+		for _, field := range cs.HashIdx {
+			if err := c.CreateHashIndex(field); err != nil {
+				return nil, err
+			}
+		}
+		for _, field := range cs.OrdIdx {
+			if err := c.CreateOrderedIndex(field); err != nil {
+				return nil, err
+			}
+		}
+		for _, d := range cs.Docs {
+			if _, err := c.Insert(d.ID, d.F); err != nil {
+				return nil, fmt.Errorf("docstore: load doc %q: %w", d.ID, err)
+			}
+		}
+		c.mu.Lock()
+		c.nextID = cs.NextID
+		c.mu.Unlock()
+	}
+	return s, nil
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"fairdms/internal/codec"
+	"fairdms/internal/datagen"
+	"fairdms/internal/docstore"
+	"fairdms/internal/embed"
+	"fairdms/internal/fairds"
+	"fairdms/internal/stats"
+	"fairdms/internal/tensor"
+)
+
+// EmbedAblationConfig sizes the embedding-method ablation reproducing the
+// paper's §IV failure analysis: an autoencoder embedding is sensitive to
+// pixel-level pose, so a rotated Bragg peak — physically identical — lands
+// far from its original; BYOL trained with rotation augmentations is
+// pose-invariant.
+type EmbedAblationConfig struct {
+	Patch   int
+	Samples int
+	Epochs  int
+	Seed    int64
+}
+
+func (c *EmbedAblationConfig) defaults() {
+	if c.Patch <= 0 {
+		c.Patch = 11
+	}
+	if c.Samples <= 0 {
+		c.Samples = 80
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 25
+	}
+}
+
+// EmbedAblationResult reports per-method rotation-retrieval accuracy: the
+// fraction of rotated probes whose nearest original (embedding space) is
+// their own unrotated source.
+type EmbedAblationResult struct {
+	AERetrieval   float64
+	BYOLRetrieval float64
+	// Mean embedding distance between a peak and its rotation, normalized
+	// by the mean distance between unrelated peaks (lower = more
+	// rotation-invariant).
+	AERotationDist   float64
+	BYOLRotationDist float64
+}
+
+// Table renders the ablation.
+func (r *EmbedAblationResult) Table() string {
+	t := &table{header: []string{"embedding", "rot-retrieval", "rot-dist/unrelated-dist"}}
+	t.add("autoencoder", f3(r.AERetrieval), f3(r.AERotationDist))
+	t.add("byol", f3(r.BYOLRetrieval), f3(r.BYOLRotationDist))
+	return "Ablation (§IV) — autoencoder vs BYOL under physics augmentations\n" + t.String()
+}
+
+// EmbedAblation trains both embedders on the same peaks and measures
+// rotation-retrieval quality.
+func EmbedAblation(cfg EmbedAblationConfig) (*EmbedAblationResult, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	regime := datagen.DefaultBraggRegime()
+	regime.Patch = cfg.Patch
+	// Use strong center jitter so peaks are distinguishable from each
+	// other (retrieval needs identity, not just regime).
+	regime.CenterJitter = 2.0
+	samples := regime.Generate(rng, cfg.Samples)
+	x, _ := collate(samples)
+
+	// Rotated probes: each sample rotated 90°.
+	rot := tensor.New(x.Dim(0), x.Dim(1))
+	for i := 0; i < x.Dim(0); i++ {
+		copy(rot.Row(i), x.Row(i))
+		rotate90InPlace(rot.Row(i), cfg.Patch)
+	}
+
+	ae := embed.NewAutoencoder(rng, x.Dim(1), 64, 8)
+	ae.Train(x, embed.TrainConfig{Epochs: cfg.Epochs, BatchSize: 16, LR: 1e-3, Seed: cfg.Seed + 1})
+
+	aug := embed.ImageAugmenter{H: cfg.Patch, W: cfg.Patch, Noise: 0.05, ScaleRange: 0.05}
+	byol := embed.NewBYOL(rng, x.Dim(1), 64, 8, aug.View, 0.95)
+	byol.Train(x, embed.TrainConfig{Epochs: cfg.Epochs, BatchSize: 16, LR: 2e-3, Seed: cfg.Seed + 2})
+
+	res := &EmbedAblationResult{}
+	res.AERetrieval, res.AERotationDist = retrievalScore(ae, x, rot)
+	res.BYOLRetrieval, res.BYOLRotationDist = retrievalScore(byol, x, rot)
+	return res, nil
+}
+
+// retrievalScore computes (a) the top-1 retrieval accuracy of rotated
+// probes against originals and (b) mean self-rotation distance over mean
+// unrelated distance.
+func retrievalScore(e embed.Embedder, x, rot *tensor.Tensor) (float64, float64) {
+	zo := e.Embed(x)
+	zr := e.Embed(rot)
+	n := x.Dim(0)
+	hits := 0
+	var selfDist, crossDist float64
+	for i := 0; i < n; i++ {
+		best := math.Inf(1)
+		bestJ := -1
+		for j := 0; j < n; j++ {
+			if d := tensor.SquaredDistance(zr.Row(i), zo.Row(j)); d < best {
+				best = d
+				bestJ = j
+			}
+		}
+		if bestJ == i {
+			hits++
+		}
+		selfDist += math.Sqrt(tensor.SquaredDistance(zr.Row(i), zo.Row(i)))
+		crossDist += math.Sqrt(tensor.SquaredDistance(zo.Row(i), zo.Row((i+n/2)%n)))
+	}
+	return float64(hits) / float64(n), selfDist / crossDist
+}
+
+func rotate90InPlace(img []float64, n int) {
+	tmp := make([]float64, len(img))
+	copy(tmp, img)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			img[(n-1-x)*n+y] = tmp[y*n+x]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+// RetrievalAblationConfig sizes the PDF-matched vs uniform-random label
+// retrieval ablation: fairDS retrieves labeled data whose cluster
+// distribution matches the input's; the ablation asks how much that
+// matching matters compared to sampling the store uniformly.
+type RetrievalAblationConfig struct {
+	Patch     int
+	PerRegime int
+	QuerySize int
+	Seed      int64
+}
+
+func (c *RetrievalAblationConfig) defaults() {
+	if c.Patch <= 0 {
+		c.Patch = 9
+	}
+	if c.PerRegime <= 0 {
+		c.PerRegime = 120
+	}
+	if c.QuerySize <= 0 {
+		c.QuerySize = 60
+	}
+}
+
+// RetrievalAblationResult compares distribution fidelity of the two
+// sampling strategies.
+type RetrievalAblationResult struct {
+	MatchedJSD float64 // JSD(input PDF, PDF-matched retrieval PDF)
+	UniformJSD float64 // JSD(input PDF, uniform-random retrieval PDF)
+}
+
+// Table renders the ablation.
+func (r *RetrievalAblationResult) Table() string {
+	t := &table{header: []string{"strategy", "jsd-to-input"}}
+	t.add("pdf-matched (fairDS)", f4(r.MatchedJSD))
+	t.add("uniform-random", f4(r.UniformJSD))
+	return "Ablation — PDF-matched vs uniform label retrieval\n" + t.String()
+}
+
+// RetrievalAblation builds a two-regime store, queries with single-regime
+// input, and compares the retrieved sets' distributions.
+func RetrievalAblation(cfg RetrievalAblationConfig) (*RetrievalAblationResult, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ra := datagen.DefaultBraggRegime()
+	ra.Patch = cfg.Patch
+	rb := ra
+	rb.WidthMean += 1.2
+	rb.EtaMean = 0.8
+	histA := ra.Generate(rng, cfg.PerRegime)
+	histB := rb.Generate(rng, cfg.PerRegime)
+	all := append(append([]*codec.Sample(nil), histA...), histB...)
+	x, _ := collate(all)
+
+	aug := embed.ImageAugmenter{H: cfg.Patch, W: cfg.Patch, Noise: 0.1, ScaleRange: 0.1}
+	byol := embed.NewBYOL(rng, x.Dim(1), 64, 8, aug.View, 0.95)
+	byol.Train(x, embed.TrainConfig{Epochs: 15, BatchSize: 32, LR: 2e-3, Seed: cfg.Seed + 1})
+
+	store := docstore.NewStore().Collection("ablate")
+	ds, err := fairds.New(byol, store, fairds.Config{Seed: cfg.Seed + 2})
+	if err != nil {
+		return nil, err
+	}
+	if err := ds.FitClustersK(x, 6); err != nil {
+		return nil, err
+	}
+	if _, err := ds.IngestLabeled(all, "history"); err != nil {
+		return nil, err
+	}
+
+	// Query: pure regime-A input.
+	query := ra.Generate(rng, cfg.QuerySize)
+	qx, _ := collate(query)
+	inputPDF, err := ds.DatasetPDF(qx)
+	if err != nil {
+		return nil, err
+	}
+
+	// fairDS PDF-matched retrieval.
+	matched, err := ds.LookupLabeled(qx)
+	if err != nil {
+		return nil, err
+	}
+	mx, _ := collate(matched)
+	matchedPDF, err := ds.DatasetPDF(mx)
+	if err != nil {
+		return nil, err
+	}
+
+	// Uniform-random retrieval of the same count.
+	ids, err := store.SampleIDs(docstore.Query{}, len(matched), cfg.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+	uniform, err := ds.GetSamples(ids)
+	if err != nil {
+		return nil, err
+	}
+	ux, _ := collate(uniform)
+	uniformPDF, err := ds.DatasetPDF(ux)
+	if err != nil {
+		return nil, err
+	}
+
+	return &RetrievalAblationResult{
+		MatchedJSD: stats.JSDivergence(inputPDF, matchedPDF),
+		UniformJSD: stats.JSDivergence(inputPDF, uniformPDF),
+	}, nil
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmbedAblationBYOLBeatsAE(t *testing.T) {
+	res, err := EmbedAblation(EmbedAblationConfig{Samples: 60, Epochs: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's §IV observation: BYOL with physics augmentations is far
+	// more rotation-invariant than the autoencoder.
+	if res.BYOLRetrieval <= res.AERetrieval {
+		t.Fatalf("BYOL retrieval %.3f not above AE %.3f", res.BYOLRetrieval, res.AERetrieval)
+	}
+	if res.BYOLRotationDist >= res.AERotationDist {
+		t.Fatalf("BYOL rotation distance ratio %.3f not below AE %.3f",
+			res.BYOLRotationDist, res.AERotationDist)
+	}
+	if !strings.Contains(res.Table(), "byol") {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestRetrievalAblationMatchedBeatsUniform(t *testing.T) {
+	res, err := RetrievalAblation(RetrievalAblationConfig{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PDF-matched retrieval must track the input distribution much more
+	// closely than uniform sampling of a mixed-regime store.
+	if res.MatchedJSD >= res.UniformJSD {
+		t.Fatalf("matched JSD %.4f not below uniform %.4f", res.MatchedJSD, res.UniformJSD)
+	}
+	if res.MatchedJSD > 0.15 {
+		t.Fatalf("matched retrieval diverges from input: JSD %.4f", res.MatchedJSD)
+	}
+	if !strings.Contains(res.Table(), "pdf-matched") {
+		t.Fatal("table malformed")
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fairdms/internal/stats"
+)
+
+// Fig12Config sizes the PDF-comparison experiment (paper Fig. 12): the
+// cluster distribution of an input dataset against the training-data
+// distributions of the best- and worst-ranked zoo models.
+type Fig12Config struct {
+	Patch      int
+	Clusters   int // the paper uses 15
+	ZooModels  int
+	PerDataset int
+	Seed       int64
+}
+
+func (c *Fig12Config) defaults() {
+	if c.Clusters <= 0 {
+		c.Clusters = 15
+	}
+	if c.ZooModels <= 0 {
+		c.ZooModels = 6
+	}
+	if c.PerDataset <= 0 {
+		c.PerDataset = 60
+	}
+}
+
+// Fig12Result holds the three distributions.
+type Fig12Result struct {
+	Input     stats.PDF
+	Best      stats.PDF
+	Worst     stats.PDF
+	BestID    string
+	WorstID   string
+	BestJSD   float64
+	WorstJSD  float64
+	InputJSDs []float64 // JSD of every zoo model, for context
+}
+
+// Table renders the per-cluster bars of Fig. 12.
+func (r *Fig12Result) Table() string {
+	t := &table{header: []string{"cluster", "input", "best", "worst"}}
+	for i := range r.Input {
+		t.add(fmt.Sprintf("%d", i), f3(r.Input[i]), f3(r.Best[i]), f3(r.Worst[i]))
+	}
+	return fmt.Sprintf("Fig. 12 — input vs best (%s, JSD %.4f) vs worst (%s, JSD %.4f) training distributions\n%s",
+		r.BestID, r.BestJSD, r.WorstID, r.WorstJSD, t)
+}
+
+// Fig12 builds a drifting Bragg sequence with a fixed cluster count, ranks
+// the zoo for a late input dataset, and reports the three distributions.
+func Fig12(cfg Fig12Config) (*Fig12Result, error) {
+	cfg.defaults()
+	env, err := newBraggEnv(braggEnvConfig{
+		patch:       cfg.Patch,
+		numDatasets: cfg.ZooModels + 1,
+		perDataset:  cfg.PerDataset,
+		driftAt:     cfg.ZooModels / 2,
+		embedOn:     3,
+		k:           cfg.Clusters,
+		zooOn:       cfg.ZooModels,
+		zooEpochs:   5, // ranking only needs PDFs, not accurate models
+		seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	x, _ := env.datasetTensors(cfg.ZooModels) // the held-out input dataset
+	input, err := env.ds.DatasetPDF(x)
+	if err != nil {
+		return nil, err
+	}
+	best, _, worst, err := env.zoo.BestMedianWorst(input)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{
+		Input: input,
+		Best:  best.Record.TrainPDF, Worst: worst.Record.TrainPDF,
+		BestID: best.Record.ID, WorstID: worst.Record.ID,
+		BestJSD: best.JSD, WorstJSD: worst.JSD,
+	}
+	ranked, err := env.zoo.Rank(input)
+	if err != nil {
+		return nil, err
+	}
+	for _, rk := range ranked {
+		res.InputJSDs = append(res.InputJSDs, rk.JSD)
+	}
+	return res, nil
+}

@@ -1,0 +1,122 @@
+package fairds
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fairdms/internal/codec"
+	"fairdms/internal/datagen"
+	"fairdms/internal/docstore"
+	"fairdms/internal/tensor"
+)
+
+// benchService builds a fitted service over n historical samples — the
+// scalability axis the paper defers to future work (§IV): how lookup cost
+// grows with store size.
+func benchService(b *testing.B, n int) (*Service, []*codec.Sample) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	regime := datagen.DefaultBraggRegime()
+	regime.Patch = 9
+	hist := regime.Generate(rng, n)
+	x, err := Collate(hist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := New(benchEmbedder{dim: 8}, docstore.NewStore().Collection("bench"), Config{Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.FitClustersK(x, 8); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.IngestLabeled(hist, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	query := regime.Generate(rng, 64)
+	return svc, query
+}
+
+// benchEmbedder is a cheap deterministic embedding for benchmarks.
+type benchEmbedder struct{ dim int }
+
+func (e benchEmbedder) Dim() int { return e.dim }
+func (e benchEmbedder) Embed(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Dim(0), e.dim)
+	feats := x.Dim(1)
+	chunk := (feats + e.dim - 1) / e.dim
+	for i := 0; i < x.Dim(0); i++ {
+		row := x.Row(i)
+		for d := 0; d < e.dim; d++ {
+			lo, hi := d*chunk, (d+1)*chunk
+			if hi > feats {
+				hi = feats
+			}
+			s := 0.0
+			for _, v := range row[lo:hi] {
+				s += v
+			}
+			if hi > lo {
+				out.Set(s/float64(hi-lo), i, d)
+			}
+		}
+	}
+	return out
+}
+
+func benchLookup(b *testing.B, n int) {
+	svc, query := benchService(b, n)
+	qx, err := Collate(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.LookupLabeled(qx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "store-size")
+}
+
+func BenchmarkLookupLabeled1k(b *testing.B) { benchLookup(b, 1000) }
+func BenchmarkLookupLabeled4k(b *testing.B) { benchLookup(b, 4000) }
+
+func BenchmarkNearestMatches(b *testing.B) {
+	svc, query := benchService(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.NearestMatches(query, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDatasetPDF(b *testing.B) {
+	svc, query := benchService(b, 1000)
+	qx, err := Collate(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.DatasetPDF(qx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIngestLabeled(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	regime := datagen.DefaultBraggRegime()
+	regime.Patch = 9
+	batch := regime.Generate(rng, 128)
+	svc, _ := benchService(b, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.IngestLabeled(batch, fmt.Sprintf("b%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

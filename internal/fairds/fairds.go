@@ -1,0 +1,600 @@
+// Package fairds implements the FAIR Data Service (paper Fig. 3, §II-A):
+// the pipeline that makes high-velocity scientific data findable and
+// reusable without human labeling. It combines
+//
+//   - an Embedding module (any embed.Embedder) that compresses images into
+//     compact semantic vectors,
+//   - a Clustering module (k-means with automatic K via the elbow method)
+//     that groups the embedding space for two-level hierarchical search,
+//   - a Data Store (docstore collection, local or remote) holding labeled
+//     historical samples indexed by cluster ID and embedding, and
+//   - lookup operations: dataset PDFs (cluster occupancy distributions),
+//     PDF-matched labeled-dataset retrieval (pseudo-labeling), per-sample
+//     nearest-neighbor label reuse, and fuzzy-clustering certainty for the
+//     uncertainty-triggered refresh of the system plane.
+package fairds
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fairdms/internal/cluster"
+	"fairdms/internal/codec"
+	"fairdms/internal/docstore"
+	"fairdms/internal/embed"
+	"fairdms/internal/stats"
+	"fairdms/internal/tensor"
+)
+
+// DataStore is the slice of docstore behaviour fairDS needs. Both a local
+// *docstore.Collection and the RemoteCollection adapter satisfy it.
+type DataStore interface {
+	InsertMany(fs []docstore.Fields) ([]string, error)
+	GetMany(ids []string) ([]*docstore.Doc, error)
+	Find(q docstore.Query) ([]*docstore.Doc, error)
+	FindIDs(q docstore.Query) ([]string, error)
+	SampleIDs(q docstore.Query, n int, seed int64) ([]string, error)
+	Update(id string, f docstore.Fields) error
+	CreateHashIndex(field string) error
+	Count() int
+}
+
+// RemoteCollection adapts a docstore.Client to the DataStore interface for
+// one named collection, making the backing MongoDB-equivalent location
+// (in-process or across the network) transparent to fairDS.
+type RemoteCollection struct {
+	Client *docstore.Client
+	Name   string
+}
+
+// InsertMany forwards to the remote collection.
+func (r RemoteCollection) InsertMany(fs []docstore.Fields) ([]string, error) {
+	return r.Client.InsertMany(r.Name, fs)
+}
+
+// GetMany forwards to the remote collection.
+func (r RemoteCollection) GetMany(ids []string) ([]*docstore.Doc, error) {
+	return r.Client.GetMany(r.Name, ids)
+}
+
+// Find forwards to the remote collection.
+func (r RemoteCollection) Find(q docstore.Query) ([]*docstore.Doc, error) {
+	return r.Client.Find(r.Name, q)
+}
+
+// FindIDs forwards to the remote collection.
+func (r RemoteCollection) FindIDs(q docstore.Query) ([]string, error) {
+	return r.Client.FindIDs(r.Name, q)
+}
+
+// SampleIDs forwards to the remote collection.
+func (r RemoteCollection) SampleIDs(q docstore.Query, n int, seed int64) ([]string, error) {
+	return r.Client.SampleIDs(r.Name, q, n, seed)
+}
+
+// Update forwards to the remote collection.
+func (r RemoteCollection) Update(id string, f docstore.Fields) error {
+	return r.Client.Update(r.Name, id, f)
+}
+
+// CreateHashIndex forwards to the remote collection.
+func (r RemoteCollection) CreateHashIndex(field string) error {
+	return r.Client.CreateHashIndex(r.Name, field)
+}
+
+// Count forwards to the remote collection.
+func (r RemoteCollection) Count() int {
+	n, err := r.Client.Count(r.Name, docstore.Query{})
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Config tunes the data service.
+type Config struct {
+	// Codec encodes sample payloads into store documents. Default: Block
+	// (the "blosc" codec).
+	Codec codec.Codec
+	// KMin/KMax bound the elbow search for the cluster count.
+	KMin, KMax int
+	// Fuzzifier for certainty computation (default 2).
+	Fuzzifier float64
+	// Seed drives clustering and sampling determinism.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.Codec == nil {
+		c.Codec = codec.Block{}
+	}
+	if c.KMin <= 0 {
+		c.KMin = 2
+	}
+	if c.KMax < c.KMin+2 {
+		c.KMax = c.KMin + 8
+	}
+	if c.Fuzzifier <= 1 {
+		c.Fuzzifier = 2
+	}
+}
+
+// Service is a configured FAIR data service instance.
+type Service struct {
+	cfg      Config
+	embedder embed.Embedder
+	store    DataStore
+	km       *cluster.KMeans
+	wss      []float64 // WSS curve from the last SelectK run
+}
+
+// New builds a data service over an embedder and a store. The clustering
+// model starts unset; call FitClusters (system plane) before lookups.
+func New(embedder embed.Embedder, store DataStore, cfg Config) (*Service, error) {
+	if embedder == nil {
+		return nil, errors.New("fairds: nil embedder")
+	}
+	if store == nil {
+		return nil, errors.New("fairds: nil store")
+	}
+	cfg.defaults()
+	if err := store.CreateHashIndex("cluster"); err != nil {
+		return nil, fmt.Errorf("fairds: indexing cluster field: %w", err)
+	}
+	return &Service{cfg: cfg, embedder: embedder, store: store}, nil
+}
+
+// Embedder returns the configured embedding module.
+func (s *Service) Embedder() embed.Embedder { return s.embedder }
+
+// Clusters returns the fitted clustering model (nil before FitClusters).
+func (s *Service) Clusters() *cluster.KMeans { return s.km }
+
+// WSSCurve returns the within-cluster-sum-of-squares curve from the last
+// automatic K selection, for elbow diagnostics.
+func (s *Service) WSSCurve() []float64 { return append([]float64(nil), s.wss...) }
+
+// K returns the current cluster count (0 before FitClusters).
+func (s *Service) K() int {
+	if s.km == nil {
+		return 0
+	}
+	return s.km.K()
+}
+
+// FitClusters (system plane) fits the clustering module on the embeddings
+// of x, choosing K automatically by the elbow method.
+func (s *Service) FitClusters(x *tensor.Tensor) error {
+	rows := embed.EmbedRows(s.embedder, x)
+	k, km, wss, err := cluster.SelectK(rows, s.cfg.KMin, s.cfg.KMax, s.cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("fairds: selecting K: %w", err)
+	}
+	_ = k
+	s.km = km
+	s.wss = wss
+	return nil
+}
+
+// FitClustersK (system plane) fits the clustering module with a fixed K,
+// for experiments that pin the cluster count (the paper uses 15 for the
+// Bragg data in Figs. 12 and 16).
+func (s *Service) FitClustersK(x *tensor.Tensor, k int) error {
+	rows := embed.EmbedRows(s.embedder, x)
+	km, err := cluster.Fit(rows, cluster.Config{K: k, Seed: s.cfg.Seed})
+	if err != nil {
+		return fmt.Errorf("fairds: fitting %d clusters: %w", k, err)
+	}
+	s.km = km
+	s.wss = nil
+	return nil
+}
+
+// requireClusters guards lookup paths.
+func (s *Service) requireClusters() error {
+	if s.km == nil {
+		return errors.New("fairds: clustering model not fitted (run FitClusters first)")
+	}
+	return nil
+}
+
+// IngestLabeled (system plane) embeds labeled samples, assigns clusters,
+// and stores them with payload, embedding, cluster ID, and dataset tag —
+// building the index as data are written, which is what makes later label
+// lookups cheap.
+func (s *Service) IngestLabeled(samples []*codec.Sample, dataset string) ([]string, error) {
+	if err := s.requireClusters(); err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, nil
+	}
+	x, err := collate(samples)
+	if err != nil {
+		return nil, err
+	}
+	rows := embed.EmbedRows(s.embedder, x)
+	assign := s.km.Predict(rows)
+	fields := make([]docstore.Fields, len(samples))
+	for i, smp := range samples {
+		raw, err := s.cfg.Codec.Encode(smp)
+		if err != nil {
+			return nil, fmt.Errorf("fairds: encoding sample %d: %w", i, err)
+		}
+		fields[i] = docstore.Fields{
+			"payload":   raw,
+			"cluster":   assign[i],
+			"embedding": rows[i],
+			"dataset":   dataset,
+		}
+	}
+	ids, err := s.store.InsertMany(fields)
+	if err != nil {
+		return nil, fmt.Errorf("fairds: storing samples: %w", err)
+	}
+	return ids, nil
+}
+
+// DatasetPDF computes the cluster probability distribution of a dataset:
+// the fraction of its samples assigned to each cluster. This compact
+// signature is what fairMS indexes models by.
+func (s *Service) DatasetPDF(x *tensor.Tensor) (stats.PDF, error) {
+	if err := s.requireClusters(); err != nil {
+		return nil, err
+	}
+	rows := embed.EmbedRows(s.embedder, x)
+	return s.km.PDF(rows), nil
+}
+
+// Certainty returns the fraction of samples clustered with fuzzy
+// membership of at least threshold — the §III-I trigger signal.
+func (s *Service) Certainty(x *tensor.Tensor, threshold float64) (float64, error) {
+	if err := s.requireClusters(); err != nil {
+		return 0, err
+	}
+	rows := embed.EmbedRows(s.embedder, x)
+	return s.km.Certainty(rows, s.cfg.Fuzzifier, threshold), nil
+}
+
+// LookupLabeled returns len(input) labeled historical samples whose cluster
+// distribution matches the input dataset's PDF: for each cluster, a number
+// of random labeled documents proportional to the input's occupancy
+// (paper §II-A, "Data Store"). This is the pseudo-labeling operation that
+// replaces expensive physics-based label computation.
+func (s *Service) LookupLabeled(x *tensor.Tensor) ([]*codec.Sample, error) {
+	if err := s.requireClusters(); err != nil {
+		return nil, err
+	}
+	pdf, err := s.DatasetPDF(x)
+	if err != nil {
+		return nil, err
+	}
+	want := x.Dim(0)
+	counts := apportion(pdf, want)
+	var out []*codec.Sample
+	for k, n := range counts {
+		if n == 0 {
+			continue
+		}
+		ids, err := s.store.SampleIDs(docstore.Query{
+			Filters: []docstore.Filter{docstore.Eq("cluster", k)},
+		}, n, s.cfg.Seed+int64(k))
+		if err != nil {
+			return nil, fmt.Errorf("fairds: sampling cluster %d: %w", k, err)
+		}
+		docs, err := s.store.GetMany(ids)
+		if err != nil {
+			return nil, fmt.Errorf("fairds: fetching cluster %d: %w", k, err)
+		}
+		for _, d := range docs {
+			smp, err := s.decodeDoc(d)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, smp)
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("fairds: no labeled historical data matches the input distribution")
+	}
+	return out, nil
+}
+
+// NearestLabeled finds, for one unlabeled sample, the closest labeled
+// historical sample in embedding space using two-level search (cluster
+// first, then intra-cluster scan). It returns the sample and the embedding
+// distance — the |b − p| the Fig. 9 threshold rule compares against T.
+func (s *Service) NearestLabeled(sample *codec.Sample) (*codec.Sample, float64, error) {
+	_, smp, dist, err := s.NearestLabeledExcluding(sample, nil)
+	return smp, dist, err
+}
+
+// NearestLabeledExcluding is NearestLabeled with an exclusion set of
+// document IDs, letting callers that reuse many labels (Fig. 9's BO
+// construction) draw distinct historical samples. It also returns the
+// matched document's ID. A nil sample with +Inf distance means the cluster
+// holds no eligible documents.
+func (s *Service) NearestLabeledExcluding(sample *codec.Sample, exclude map[string]bool) (string, *codec.Sample, float64, error) {
+	if err := s.requireClusters(); err != nil {
+		return "", nil, 0, err
+	}
+	x, err := collate([]*codec.Sample{sample})
+	if err != nil {
+		return "", nil, 0, err
+	}
+	rows := embed.EmbedRows(s.embedder, x)
+	z := rows[0]
+	k, _ := s.km.PredictOne(z)
+
+	// Projected scan: only embeddings travel, not payloads — the store's
+	// "efficient lookup by embedding indexing" requirement (paper §II-A).
+	docs, err := s.store.Find(docstore.Query{
+		Filters: []docstore.Filter{docstore.Eq("cluster", k)},
+		Project: []string{"embedding"},
+	})
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("fairds: scanning cluster %d: %w", k, err)
+	}
+	best := math.Inf(1)
+	bestID := ""
+	for _, d := range docs {
+		if exclude[d.ID] {
+			continue
+		}
+		emb, ok := d.F["embedding"].([]float64)
+		if !ok || len(emb) != len(z) {
+			continue
+		}
+		if dist := tensor.SquaredDistance(z, emb); dist < best {
+			best = dist
+			bestID = d.ID
+		}
+	}
+	if bestID == "" {
+		return "", nil, math.Inf(1), nil
+	}
+	full, err := s.store.GetMany([]string{bestID})
+	if err != nil {
+		return "", nil, 0, err
+	}
+	smp, err := s.decodeDoc(full[0])
+	if err != nil {
+		return "", nil, 0, err
+	}
+	return bestID, smp, math.Sqrt(best), nil
+}
+
+// Match pairs an input sample with its nearest labeled historical document.
+type Match struct {
+	DocID string  // "" when the sample's cluster holds no eligible docs
+	Dist  float64 // embedding distance (+Inf when DocID is "")
+}
+
+// NearestMatches finds the nearest labeled historical document for every
+// input sample using one batched embedding pass and one projected
+// embedding scan per touched cluster. With distinct=true, each document is
+// matched at most once (greedy, in input order). Payloads are not fetched;
+// use GetSamples on the IDs the caller decides to reuse. This is the
+// high-throughput path for Fig. 9-style bulk label reuse.
+func (s *Service) NearestMatches(samples []*codec.Sample, distinct bool) ([]Match, error) {
+	if err := s.requireClusters(); err != nil {
+		return nil, err
+	}
+	x, err := collate(samples)
+	if err != nil {
+		return nil, err
+	}
+	rows := embed.EmbedRows(s.embedder, x)
+	assign := s.km.Predict(rows)
+
+	// One projected scan per distinct cluster.
+	type entry struct {
+		id  string
+		emb []float64
+	}
+	clusterDocs := make(map[int][]entry)
+	for _, k := range assign {
+		if _, done := clusterDocs[k]; done {
+			continue
+		}
+		docs, err := s.store.Find(docstore.Query{
+			Filters: []docstore.Filter{docstore.Eq("cluster", k)},
+			Project: []string{"embedding"},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fairds: scanning cluster %d: %w", k, err)
+		}
+		var entries []entry
+		for _, d := range docs {
+			if emb, ok := d.F["embedding"].([]float64); ok {
+				entries = append(entries, entry{id: d.ID, emb: emb})
+			}
+		}
+		clusterDocs[k] = entries
+	}
+
+	used := make(map[string]bool)
+	out := make([]Match, len(samples))
+	for i := range samples {
+		best := math.Inf(1)
+		bestID := ""
+		for _, e := range clusterDocs[assign[i]] {
+			if distinct && used[e.id] {
+				continue
+			}
+			if len(e.emb) != len(rows[i]) {
+				continue
+			}
+			if d := tensor.SquaredDistance(rows[i], e.emb); d < best {
+				best = d
+				bestID = e.id
+			}
+		}
+		if bestID != "" && distinct {
+			used[bestID] = true
+		}
+		out[i] = Match{DocID: bestID, Dist: math.Sqrt(best)}
+	}
+	return out, nil
+}
+
+// GetSamples fetches and decodes the stored samples with the given IDs.
+func (s *Service) GetSamples(ids []string) ([]*codec.Sample, error) {
+	docs, err := s.store.GetMany(ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*codec.Sample, len(docs))
+	for i, d := range docs {
+		smp, err := s.decodeDoc(d)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = smp
+	}
+	return out, nil
+}
+
+// StoreCount reports how many labeled samples the store holds.
+func (s *Service) StoreCount() int { return s.store.Count() }
+
+// Reindex is the system-plane maintenance pass of paper §II-C: after the
+// embedding model has been retrained (or replaced via SetEmbedder), every
+// stored document's embedding is recomputed, the clustering model is refit
+// with k clusters on the refreshed embeddings, and each document's cluster
+// assignment is updated in place. Batched in chunks so memory stays
+// bounded on large stores. Returns the number of documents reindexed.
+func (s *Service) Reindex(k int) (int, error) {
+	ids, err := s.store.FindIDs(docstore.Query{})
+	if err != nil {
+		return 0, fmt.Errorf("fairds: reindex scan: %w", err)
+	}
+	if len(ids) == 0 {
+		return 0, errors.New("fairds: reindex of an empty store")
+	}
+
+	// Pass 1: re-embed every document.
+	const chunk = 256
+	embeddings := make([][]float64, len(ids))
+	for lo := 0; lo < len(ids); lo += chunk {
+		hi := lo + chunk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		docs, err := s.store.GetMany(ids[lo:hi])
+		if err != nil {
+			return 0, fmt.Errorf("fairds: reindex fetch: %w", err)
+		}
+		samples := make([]*codec.Sample, len(docs))
+		for i, d := range docs {
+			smp, err := s.decodeDoc(d)
+			if err != nil {
+				return 0, err
+			}
+			samples[i] = smp
+		}
+		x, err := collate(samples)
+		if err != nil {
+			return 0, err
+		}
+		rows := embed.EmbedRows(s.embedder, x)
+		copy(embeddings[lo:hi], rows)
+	}
+
+	// Refit the clustering model on the refreshed embeddings.
+	km, err := cluster.Fit(embeddings, cluster.Config{K: k, Seed: s.cfg.Seed})
+	if err != nil {
+		return 0, fmt.Errorf("fairds: reindex clustering: %w", err)
+	}
+	assign := km.Predict(embeddings)
+
+	// Pass 2: write back embeddings + cluster assignments.
+	for i, id := range ids {
+		err := s.store.Update(id, docstore.Fields{
+			"embedding": embeddings[i],
+			"cluster":   assign[i],
+		})
+		if err != nil {
+			return i, fmt.Errorf("fairds: reindex update %s: %w", id, err)
+		}
+	}
+	s.km = km
+	s.wss = nil
+	return len(ids), nil
+}
+
+// SetEmbedder swaps the embedding module (e.g. after system-plane
+// retraining). Callers must Reindex afterwards so stored embeddings and
+// cluster assignments match the new model.
+func (s *Service) SetEmbedder(e embed.Embedder) error {
+	if e == nil {
+		return errors.New("fairds: nil embedder")
+	}
+	s.embedder = e
+	return nil
+}
+
+// decodeDoc decodes the payload field of a stored document.
+func (s *Service) decodeDoc(d *docstore.Doc) (*codec.Sample, error) {
+	raw, ok := d.F["payload"].([]byte)
+	if !ok {
+		return nil, fmt.Errorf("fairds: doc %s has no []byte payload", d.ID)
+	}
+	smp, err := s.cfg.Codec.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("fairds: decoding doc %s: %w", d.ID, err)
+	}
+	return smp, nil
+}
+
+// apportion converts a PDF into integer per-cluster counts summing to n
+// (largest-remainder method).
+func apportion(pdf stats.PDF, n int) []int {
+	counts := make([]int, len(pdf))
+	type frac struct {
+		idx int
+		rem float64
+	}
+	fracs := make([]frac, len(pdf))
+	total := 0
+	for i, p := range pdf {
+		exact := p * float64(n)
+		counts[i] = int(exact)
+		fracs[i] = frac{idx: i, rem: exact - float64(counts[i])}
+		total += counts[i]
+	}
+	// Distribute the remainder to the largest fractional parts.
+	for total < n {
+		best := -1
+		for i := range fracs {
+			if best < 0 || fracs[i].rem > fracs[best].rem {
+				best = i
+			}
+		}
+		counts[fracs[best].idx]++
+		fracs[best].rem = -1
+		total++
+	}
+	return counts
+}
+
+// collate stacks samples into a (N, features) tensor.
+func collate(samples []*codec.Sample) (*tensor.Tensor, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("fairds: empty sample set")
+	}
+	feat := samples[0].Elems()
+	x := tensor.New(len(samples), feat)
+	for i, smp := range samples {
+		if smp.Elems() != feat {
+			return nil, fmt.Errorf("fairds: sample %d has %d elements, expected %d", i, smp.Elems(), feat)
+		}
+		copy(x.Row(i), smp.Floats())
+	}
+	return x, nil
+}
+
+// Collate is the exported form used by callers assembling tensors from
+// retrieved samples.
+func Collate(samples []*codec.Sample) (*tensor.Tensor, error) { return collate(samples) }

@@ -1,0 +1,229 @@
+// Package fairms implements the FAIR Model Service (paper Fig. 4, §II-B):
+// a Model Zoo that indexes every trained checkpoint by the cluster PDF of
+// its training dataset, and a Model Manager that ranks zoo entries against
+// a new dataset's PDF by Jensen–Shannon divergence, recommending the
+// closest model as the foundation for fine-tuning. A user-defined JSD
+// threshold falls back to train-from-scratch when no historical model is
+// close enough (§II-C).
+package fairms
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"fairdms/internal/nn"
+	"fairdms/internal/stats"
+)
+
+// Record is one zoo entry: a checkpoint plus the signature of the data it
+// was trained on.
+type Record struct {
+	ID       string
+	State    *nn.StateDict
+	TrainPDF stats.PDF
+	Meta     map[string]string
+	AddedAt  time.Time
+}
+
+// Ranked pairs a zoo record with its divergence from a query PDF.
+type Ranked struct {
+	Record *Record
+	JSD    float64
+}
+
+// Zoo stores model records. Safe for concurrent use.
+type Zoo struct {
+	mu      sync.RWMutex
+	records map[string]*Record
+	order   []string // insertion order for deterministic iteration
+	clock   func() time.Time
+}
+
+// NewZoo returns an empty zoo.
+func NewZoo() *Zoo {
+	return &Zoo{records: make(map[string]*Record), clock: time.Now}
+}
+
+// Add registers a checkpoint under id with its training-data PDF. The PDF
+// must be a valid distribution; duplicate IDs are rejected.
+func (z *Zoo) Add(id string, state *nn.StateDict, trainPDF stats.PDF, meta map[string]string) error {
+	if id == "" {
+		return errors.New("fairms: empty model id")
+	}
+	if state == nil {
+		return fmt.Errorf("fairms: model %q has nil state", id)
+	}
+	if err := trainPDF.Validate(); err != nil {
+		return fmt.Errorf("fairms: model %q: %w", id, err)
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if _, dup := z.records[id]; dup {
+		return fmt.Errorf("fairms: model %q already in zoo", id)
+	}
+	m := make(map[string]string, len(meta))
+	for k, v := range meta {
+		m[k] = v
+	}
+	z.records[id] = &Record{
+		ID: id, State: state,
+		TrainPDF: append(stats.PDF(nil), trainPDF...),
+		Meta:     m, AddedAt: z.clock(),
+	}
+	z.order = append(z.order, id)
+	return nil
+}
+
+// Get returns the record with the given ID.
+func (z *Zoo) Get(id string) (*Record, error) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	r, ok := z.records[id]
+	if !ok {
+		return nil, fmt.Errorf("fairms: model %q not in zoo", id)
+	}
+	return r, nil
+}
+
+// Len returns the number of stored models.
+func (z *Zoo) Len() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return len(z.records)
+}
+
+// IDs returns model IDs in insertion order.
+func (z *Zoo) IDs() []string {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return append([]string(nil), z.order...)
+}
+
+// Rank scores every zoo model against the input PDF, ascending by JSD
+// (best foundation first). Ties break by insertion order for determinism.
+// PDFs of a different cluster count than the input are skipped: they were
+// indexed under an incompatible clustering generation.
+func (z *Zoo) Rank(input stats.PDF) ([]Ranked, error) {
+	if err := input.Validate(); err != nil {
+		return nil, fmt.Errorf("fairms: query PDF: %w", err)
+	}
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	var out []Ranked
+	for _, id := range z.order {
+		r := z.records[id]
+		if len(r.TrainPDF) != len(input) {
+			continue
+		}
+		out = append(out, Ranked{Record: r, JSD: stats.JSDivergence(input, r.TrainPDF)})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].JSD < out[j].JSD })
+	return out, nil
+}
+
+// Recommend returns the best foundation model for the input PDF, or an
+// error if the zoo holds no compatible models.
+func (z *Zoo) Recommend(input stats.PDF) (*Ranked, error) {
+	ranked, err := z.Rank(input)
+	if err != nil {
+		return nil, err
+	}
+	if len(ranked) == 0 {
+		return nil, errors.New("fairms: no compatible models in zoo")
+	}
+	best := ranked[0]
+	return &best, nil
+}
+
+// RecommendWithThreshold applies the paper's distance threshold: it returns
+// (recommendation, true) when the best model's JSD is within maxJSD, and
+// (nil, false) when the caller should train from scratch instead.
+func (z *Zoo) RecommendWithThreshold(input stats.PDF, maxJSD float64) (*Ranked, bool) {
+	best, err := z.Recommend(input)
+	if err != nil || best.JSD > maxJSD {
+		return nil, false
+	}
+	return best, true
+}
+
+// BestMedianWorst returns the best, median, and worst ranked models for an
+// input PDF — the FineTune-B/M/W comparison of Figs. 13–14.
+func (z *Zoo) BestMedianWorst(input stats.PDF) (best, median, worst *Ranked, err error) {
+	ranked, err := z.Rank(input)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(ranked) == 0 {
+		return nil, nil, nil, errors.New("fairms: no compatible models in zoo")
+	}
+	b, m, w := ranked[0], ranked[len(ranked)/2], ranked[len(ranked)-1]
+	return &b, &m, &w, nil
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+
+// zooSnapshot is the gob-serializable form.
+type zooSnapshot struct {
+	Order   []string
+	Records map[string]recordSnapshot
+}
+
+type recordSnapshot struct {
+	State    *nn.StateDict
+	TrainPDF []float64
+	Meta     map[string]string
+	AddedAt  time.Time
+}
+
+// Save writes the zoo to a file.
+func (z *Zoo) Save(path string) error {
+	z.mu.RLock()
+	snap := zooSnapshot{Order: append([]string(nil), z.order...), Records: make(map[string]recordSnapshot)}
+	for id, r := range z.records {
+		snap.Records[id] = recordSnapshot{
+			State: r.State, TrainPDF: r.TrainPDF, Meta: r.Meta, AddedAt: r.AddedAt,
+		}
+	}
+	z.mu.RUnlock()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fairms: save: %w", err)
+	}
+	defer f.Close()
+	if err := encodeGob(f, &snap); err != nil {
+		return fmt.Errorf("fairms: save encode: %w", err)
+	}
+	return f.Sync()
+}
+
+// LoadZoo reads a zoo written by Save.
+func LoadZoo(path string) (*Zoo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fairms: load: %w", err)
+	}
+	defer f.Close()
+	var snap zooSnapshot
+	if err := decodeGob(f, &snap); err != nil {
+		return nil, fmt.Errorf("fairms: load decode: %w", err)
+	}
+	z := NewZoo()
+	for _, id := range snap.Order {
+		rs, ok := snap.Records[id]
+		if !ok {
+			return nil, fmt.Errorf("fairms: snapshot order references missing record %q", id)
+		}
+		z.records[id] = &Record{
+			ID: id, State: rs.State, TrainPDF: rs.TrainPDF,
+			Meta: rs.Meta, AddedAt: rs.AddedAt,
+		}
+		z.order = append(z.order, id)
+	}
+	return z, nil
+}

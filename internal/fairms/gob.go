@@ -1,0 +1,10 @@
+package fairms
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+func encodeGob(w io.Writer, v any) error { return gob.NewEncoder(w).Encode(v) }
+
+func decodeGob(r io.Reader, v any) error { return gob.NewDecoder(r).Decode(v) }

@@ -1,0 +1,289 @@
+// Package flow is fairDMS's stand-in for the Globus Flows service
+// (paper §III-C): a small DAG workflow engine. A Flow is a set of named
+// actions with dependencies; Execute runs them in topological order,
+// running independent actions concurrently, retrying failed actions, and
+// recording per-action state and timing. Actions communicate through a
+// thread-safe key/value RunContext.
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is an action's lifecycle state.
+type State string
+
+// Action lifecycle states.
+const (
+	Pending   State = "pending"
+	Running   State = "running"
+	Succeeded State = "succeeded"
+	Failed    State = "failed"
+	Skipped   State = "skipped" // not run because a dependency failed
+)
+
+// RunContext carries artifacts between actions.
+type RunContext struct {
+	mu   sync.RWMutex
+	vals map[string]any
+}
+
+// NewRunContext returns an empty context.
+func NewRunContext() *RunContext {
+	return &RunContext{vals: make(map[string]any)}
+}
+
+// Set stores a value under key.
+func (rc *RunContext) Set(key string, v any) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.vals[key] = v
+}
+
+// Get returns the value under key and whether it exists.
+func (rc *RunContext) Get(key string) (any, bool) {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	v, ok := rc.vals[key]
+	return v, ok
+}
+
+// MustGet returns the value under key, panicking if absent — for actions
+// whose dependencies are guaranteed by the DAG to have stored it.
+func (rc *RunContext) MustGet(key string) any {
+	v, ok := rc.Get(key)
+	if !ok {
+		panic(fmt.Sprintf("flow: missing context key %q", key))
+	}
+	return v
+}
+
+// Action is one node of the workflow DAG.
+type Action struct {
+	Name       string
+	DependsOn  []string
+	Retries    int           // additional attempts after a failure
+	RetryDelay time.Duration // pause between attempts
+	Run        func(ctx context.Context, rc *RunContext) error
+}
+
+// Flow is an immutable-once-executed DAG of actions.
+type Flow struct {
+	Name    string
+	actions []Action
+}
+
+// New returns an empty flow.
+func New(name string) *Flow { return &Flow{Name: name} }
+
+// Add appends an action and returns the flow for chaining.
+func (f *Flow) Add(a Action) *Flow {
+	f.actions = append(f.actions, a)
+	return f
+}
+
+// ActionReport records one action's outcome.
+type ActionReport struct {
+	Name     string
+	State    State
+	Attempts int
+	Duration time.Duration
+	Err      error
+}
+
+// Report summarizes a flow execution.
+type Report struct {
+	Flow     string
+	Actions  map[string]*ActionReport
+	Duration time.Duration
+}
+
+// Failed returns the names of failed actions.
+func (r *Report) Failed() []string {
+	var out []string
+	for name, a := range r.Actions {
+		if a.State == Failed {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Validate checks the DAG for duplicate names, unknown dependencies, and
+// cycles.
+func (f *Flow) Validate() error {
+	byName := make(map[string]*Action, len(f.actions))
+	for i := range f.actions {
+		a := &f.actions[i]
+		if a.Name == "" {
+			return errors.New("flow: action with empty name")
+		}
+		if a.Run == nil {
+			return fmt.Errorf("flow: action %q has no Run function", a.Name)
+		}
+		if _, dup := byName[a.Name]; dup {
+			return fmt.Errorf("flow: duplicate action name %q", a.Name)
+		}
+		byName[a.Name] = a
+	}
+	for _, a := range f.actions {
+		for _, dep := range a.DependsOn {
+			if _, ok := byName[dep]; !ok {
+				return fmt.Errorf("flow: action %q depends on unknown action %q", a.Name, dep)
+			}
+		}
+	}
+	// Cycle detection via Kahn's algorithm.
+	indeg := make(map[string]int, len(f.actions))
+	dependents := make(map[string][]string)
+	for _, a := range f.actions {
+		indeg[a.Name] = len(a.DependsOn)
+		for _, dep := range a.DependsOn {
+			dependents[dep] = append(dependents[dep], a.Name)
+		}
+	}
+	var queue []string
+	for name, d := range indeg {
+		if d == 0 {
+			queue = append(queue, name)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, m := range dependents[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if seen != len(f.actions) {
+		return fmt.Errorf("flow: %q contains a dependency cycle", f.Name)
+	}
+	return nil
+}
+
+// Execute validates and runs the flow. Independent actions run
+// concurrently. An action whose dependency failed is marked Skipped.
+// Execute returns the report and the first action error encountered
+// (nil if every action succeeded).
+func (f *Flow) Execute(ctx context.Context, rc *RunContext) (*Report, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if rc == nil {
+		rc = NewRunContext()
+	}
+	start := time.Now()
+	report := &Report{Flow: f.Name, Actions: make(map[string]*ActionReport, len(f.actions))}
+	for _, a := range f.actions {
+		report.Actions[a.Name] = &ActionReport{Name: a.Name, State: Pending}
+	}
+
+	type outcome struct {
+		name string
+		err  error
+	}
+	remaining := make(map[string]*Action, len(f.actions))
+	blocked := make(map[string]int, len(f.actions))
+	dependents := make(map[string][]string)
+	for i := range f.actions {
+		a := &f.actions[i]
+		remaining[a.Name] = a
+		blocked[a.Name] = len(a.DependsOn)
+		for _, dep := range a.DependsOn {
+			dependents[dep] = append(dependents[dep], a.Name)
+		}
+	}
+
+	results := make(chan outcome)
+	running := 0
+	failedDeps := make(map[string]bool)
+
+	launch := func(a *Action) {
+		report.Actions[a.Name].State = Running
+		running++
+		go func() {
+			err := runWithRetries(ctx, a, rc, report.Actions[a.Name])
+			results <- outcome{name: a.Name, err: err}
+		}()
+	}
+	// Seed with ready actions.
+	for name, a := range remaining {
+		if blocked[name] == 0 {
+			launch(a)
+			delete(remaining, name)
+		}
+	}
+
+	var firstErr error
+	for running > 0 {
+		res := <-results
+		running--
+		rep := report.Actions[res.name]
+		if res.err != nil {
+			rep.State = Failed
+			rep.Err = res.err
+			if firstErr == nil {
+				firstErr = fmt.Errorf("flow: action %q: %w", res.name, res.err)
+			}
+			// Transitively skip all dependents.
+			var skip func(string)
+			skip = func(name string) {
+				for _, m := range dependents[name] {
+					if failedDeps[m] {
+						continue
+					}
+					failedDeps[m] = true
+					if _, ok := remaining[m]; ok {
+						report.Actions[m].State = Skipped
+						delete(remaining, m)
+					}
+					skip(m)
+				}
+			}
+			skip(res.name)
+		} else {
+			rep.State = Succeeded
+			for _, m := range dependents[res.name] {
+				blocked[m]--
+				if a, ok := remaining[m]; ok && blocked[m] == 0 && !failedDeps[m] {
+					launch(a)
+					delete(remaining, m)
+				}
+			}
+		}
+	}
+	report.Duration = time.Since(start)
+	return report, firstErr
+}
+
+func runWithRetries(ctx context.Context, a *Action, rc *RunContext, rep *ActionReport) error {
+	start := time.Now()
+	defer func() { rep.Duration = time.Since(start) }()
+	var err error
+	for attempt := 0; attempt <= a.Retries; attempt++ {
+		rep.Attempts = attempt + 1
+		if err = ctx.Err(); err != nil {
+			return err
+		}
+		if err = a.Run(ctx, rc); err == nil {
+			return nil
+		}
+		if attempt < a.Retries && a.RetryDelay > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(a.RetryDelay):
+			}
+		}
+	}
+	return err
+}

@@ -1,0 +1,213 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func noop(ctx context.Context, rc *RunContext) error { return nil }
+
+func TestValidateCatchesDAGErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *Flow
+	}{
+		{"empty name", New("f").Add(Action{Run: noop})},
+		{"nil run", New("f").Add(Action{Name: "a"})},
+		{"duplicate", New("f").Add(Action{Name: "a", Run: noop}).Add(Action{Name: "a", Run: noop})},
+		{"unknown dep", New("f").Add(Action{Name: "a", Run: noop, DependsOn: []string{"zz"}})},
+		{"cycle", New("f").
+			Add(Action{Name: "a", Run: noop, DependsOn: []string{"b"}}).
+			Add(Action{Name: "b", Run: noop, DependsOn: []string{"a"}})},
+	}
+	for _, tc := range cases {
+		if err := tc.f.Validate(); err == nil {
+			t.Fatalf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestExecuteRespectsDependencies(t *testing.T) {
+	var order []string
+	var mu atomic.Int64
+	record := func(name string) func(context.Context, *RunContext) error {
+		return func(ctx context.Context, rc *RunContext) error {
+			for !mu.CompareAndSwap(0, 1) {
+			}
+			order = append(order, name)
+			mu.Store(0)
+			return nil
+		}
+	}
+	f := New("pipeline").
+		Add(Action{Name: "c", Run: record("c"), DependsOn: []string{"a", "b"}}).
+		Add(Action{Name: "a", Run: record("a")}).
+		Add(Action{Name: "b", Run: record("b"), DependsOn: []string{"a"}})
+	rep, err := f.Execute(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("execution order %v", order)
+	}
+	for _, a := range rep.Actions {
+		if a.State != Succeeded {
+			t.Fatalf("action %s state %s", a.Name, a.State)
+		}
+		if a.Duration < 0 {
+			t.Fatal("negative duration")
+		}
+	}
+}
+
+func TestIndependentActionsRunConcurrently(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	slow := func(ctx context.Context, rc *RunContext) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(30 * time.Millisecond)
+		inFlight.Add(-1)
+		return nil
+	}
+	f := New("par").
+		Add(Action{Name: "x", Run: slow}).
+		Add(Action{Name: "y", Run: slow}).
+		Add(Action{Name: "z", Run: slow})
+	if _, err := f.Execute(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency %d, want >= 2", peak.Load())
+	}
+}
+
+func TestFailureSkipsDependents(t *testing.T) {
+	boom := errors.New("boom")
+	ran := atomic.Bool{}
+	f := New("fail").
+		Add(Action{Name: "a", Run: func(ctx context.Context, rc *RunContext) error { return boom }}).
+		Add(Action{Name: "b", DependsOn: []string{"a"}, Run: func(ctx context.Context, rc *RunContext) error {
+			ran.Store(true)
+			return nil
+		}}).
+		Add(Action{Name: "c", DependsOn: []string{"b"}, Run: noop}).
+		Add(Action{Name: "d", Run: noop}) // independent: must still run
+	rep, err := f.Execute(context.Background(), nil)
+	if err == nil {
+		t.Fatal("expected flow error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the action error", err)
+	}
+	if ran.Load() {
+		t.Fatal("dependent of failed action ran")
+	}
+	if rep.Actions["a"].State != Failed {
+		t.Fatalf("a state %s", rep.Actions["a"].State)
+	}
+	if rep.Actions["b"].State != Skipped || rep.Actions["c"].State != Skipped {
+		t.Fatalf("b/c states %s/%s, want skipped", rep.Actions["b"].State, rep.Actions["c"].State)
+	}
+	if rep.Actions["d"].State != Succeeded {
+		t.Fatalf("independent action d state %s", rep.Actions["d"].State)
+	}
+	failed := rep.Failed()
+	if len(failed) != 1 || failed[0] != "a" {
+		t.Fatalf("Failed() = %v", failed)
+	}
+}
+
+func TestRetriesUntilSuccess(t *testing.T) {
+	var calls atomic.Int64
+	f := New("retry").Add(Action{
+		Name: "flaky", Retries: 3,
+		Run: func(ctx context.Context, rc *RunContext) error {
+			if calls.Add(1) < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		},
+	})
+	rep, err := f.Execute(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("ran %d times, want 3", calls.Load())
+	}
+	if rep.Actions["flaky"].Attempts != 3 {
+		t.Fatalf("attempts = %d", rep.Actions["flaky"].Attempts)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	var calls atomic.Int64
+	f := New("retry").Add(Action{
+		Name: "broken", Retries: 2,
+		Run: func(ctx context.Context, rc *RunContext) error {
+			calls.Add(1)
+			return errors.New("permanent")
+		},
+	})
+	if _, err := f.Execute(context.Background(), nil); err == nil {
+		t.Fatal("expected failure after exhausted retries")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("ran %d times, want 3 (1 + 2 retries)", calls.Load())
+	}
+}
+
+func TestRunContextPassesArtifacts(t *testing.T) {
+	f := New("ctx").
+		Add(Action{Name: "produce", Run: func(ctx context.Context, rc *RunContext) error {
+			rc.Set("model", "weights-v1")
+			return nil
+		}}).
+		Add(Action{Name: "consume", DependsOn: []string{"produce"}, Run: func(ctx context.Context, rc *RunContext) error {
+			if rc.MustGet("model") != "weights-v1" {
+				return errors.New("artifact missing")
+			}
+			return nil
+		}})
+	if _, err := f.Execute(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextCancellationStopsRetries(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	f := New("cancel").Add(Action{
+		Name: "slow", Retries: 100, RetryDelay: 10 * time.Millisecond,
+		Run: func(ctx context.Context, rc *RunContext) error {
+			if calls.Add(1) == 1 {
+				cancel()
+			}
+			return errors.New("always fails")
+		},
+	})
+	if _, err := f.Execute(ctx, nil); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if calls.Load() > 2 {
+		t.Fatalf("retried %d times after cancellation", calls.Load())
+	}
+}
+
+func TestMustGetPanicsOnMissing(t *testing.T) {
+	rc := NewRunContext()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing key")
+		}
+	}()
+	rc.MustGet("nope")
+}

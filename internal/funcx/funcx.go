@@ -1,0 +1,209 @@
+// Package funcx is fairDMS's stand-in for the funcX federated
+// function-serving fabric (paper §III-C): named functions are registered
+// once, then submitted for asynchronous execution on named endpoints —
+// bounded worker pools that model the compute sites (beamline edge node,
+// HPC cluster) of the end-to-end workflow. Submissions return futures.
+package funcx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Function is an executable registered with the fabric.
+type Function func(ctx context.Context, input any) (any, error)
+
+// Registry maps function names to implementations. Safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	funcs map[string]Function
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{funcs: make(map[string]Function)}
+}
+
+// Register adds a function under name, failing on duplicates.
+func (r *Registry) Register(name string, fn Function) error {
+	if fn == nil {
+		return fmt.Errorf("funcx: nil function %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.funcs[name]; dup {
+		return fmt.Errorf("funcx: function %q already registered", name)
+	}
+	r.funcs[name] = fn
+	return nil
+}
+
+// Lookup returns the named function.
+func (r *Registry) Lookup(name string) (Function, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("funcx: unknown function %q", name)
+	}
+	return fn, nil
+}
+
+// Names lists registered function names (unordered).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.funcs))
+	for n := range r.funcs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Result is a completed execution.
+type Result struct {
+	Value any
+	Err   error
+}
+
+// Future resolves to the result of an asynchronous submission.
+type Future struct {
+	done chan struct{}
+	res  Result
+}
+
+// Wait blocks until the result is available or ctx is canceled.
+func (f *Future) Wait(ctx context.Context) (any, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-f.done:
+		return f.res.Value, f.res.Err
+	}
+}
+
+// Done reports whether the result is available without blocking.
+func (f *Future) Done() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Endpoint is a named worker pool executing submitted functions, the
+// funcX notion of a compute site.
+type Endpoint struct {
+	Name string
+
+	registry *Registry
+	tasks    chan *task
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	executed atomic.Int64
+}
+
+type task struct {
+	fn     Function
+	input  any
+	future *Future
+	ctx    context.Context
+}
+
+// NewEndpoint starts an endpoint with the given parallelism (workers >= 1)
+// and submission queue depth.
+func NewEndpoint(name string, registry *Registry, workers, queueDepth int) *Endpoint {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 64
+	}
+	e := &Endpoint{Name: name, registry: registry, tasks: make(chan *task, queueDepth)}
+	for w := 0; w < workers; w++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for t := range e.tasks {
+				if err := t.ctx.Err(); err != nil {
+					t.future.res = Result{Err: err}
+				} else {
+					v, err := t.fn(t.ctx, t.input)
+					t.future.res = Result{Value: v, Err: err}
+				}
+				e.executed.Add(1)
+				close(t.future.done)
+			}
+		}()
+	}
+	return e
+}
+
+// Submit schedules the named function with input and returns its future.
+func (e *Endpoint) Submit(ctx context.Context, name string, input any) (*Future, error) {
+	if e.closed.Load() {
+		return nil, errors.New("funcx: endpoint closed")
+	}
+	fn, err := e.registry.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	f := &Future{done: make(chan struct{})}
+	t := &task{fn: fn, input: input, future: f, ctx: ctx}
+	select {
+	case e.tasks <- t:
+		return f, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Call submits and waits — the synchronous convenience path.
+func (e *Endpoint) Call(ctx context.Context, name string, input any) (any, error) {
+	f, err := e.Submit(ctx, name, input)
+	if err != nil {
+		return nil, err
+	}
+	return f.Wait(ctx)
+}
+
+// Map submits the named function once per input and waits for all results,
+// returning them in input order. The first error is returned but every
+// future is awaited.
+func (e *Endpoint) Map(ctx context.Context, name string, inputs []any) ([]any, error) {
+	futures := make([]*Future, len(inputs))
+	for i, in := range inputs {
+		f, err := e.Submit(ctx, name, in)
+		if err != nil {
+			return nil, err
+		}
+		futures[i] = f
+	}
+	out := make([]any, len(inputs))
+	var firstErr error
+	for i, f := range futures {
+		v, err := f.Wait(ctx)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("funcx: input %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, firstErr
+}
+
+// Executed reports how many tasks the endpoint has completed.
+func (e *Endpoint) Executed() int64 { return e.executed.Load() }
+
+// Close drains the queue and stops the workers. Pending submissions
+// complete; new submissions fail.
+func (e *Endpoint) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	close(e.tasks)
+	e.wg.Wait()
+}

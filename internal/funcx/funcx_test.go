@@ -1,0 +1,168 @@
+package funcx
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("double", func(ctx context.Context, in any) (any, error) {
+		return in.(int) * 2, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("double", nil); err == nil {
+		t.Fatal("expected error for nil function")
+	}
+	if err := r.Register("double", func(ctx context.Context, in any) (any, error) { return nil, nil }); err == nil {
+		t.Fatal("expected duplicate registration error")
+	}
+	if _, err := r.Lookup("missing"); err == nil {
+		t.Fatal("expected lookup error")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "double" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestEndpointCallAndSubmit(t *testing.T) {
+	r := NewRegistry()
+	r.Register("add1", func(ctx context.Context, in any) (any, error) { return in.(int) + 1, nil })
+	e := NewEndpoint("edge", r, 2, 8)
+	defer e.Close()
+
+	v, err := e.Call(context.Background(), "add1", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("Call = %v", v)
+	}
+
+	f, err := e.Submit(context.Background(), "add1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err = f.Wait(context.Background())
+	if err != nil || v != 2 {
+		t.Fatalf("future = %v, %v", v, err)
+	}
+	if !f.Done() {
+		t.Fatal("future should be done after Wait")
+	}
+	if e.Executed() != 2 {
+		t.Fatalf("Executed = %d", e.Executed())
+	}
+}
+
+func TestSubmitUnknownFunction(t *testing.T) {
+	e := NewEndpoint("edge", NewRegistry(), 1, 1)
+	defer e.Close()
+	if _, err := e.Submit(context.Background(), "nope", nil); err == nil {
+		t.Fatal("expected unknown-function error")
+	}
+}
+
+func TestFunctionErrorsPropagate(t *testing.T) {
+	r := NewRegistry()
+	boom := errors.New("boom")
+	r.Register("fail", func(ctx context.Context, in any) (any, error) { return nil, boom })
+	e := NewEndpoint("edge", r, 1, 1)
+	defer e.Close()
+	_, err := e.Call(context.Background(), "fail", nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestMapPreservesOrderAndParallelizes(t *testing.T) {
+	r := NewRegistry()
+	var peak, inFlight atomic.Int64
+	r.Register("slowSquare", func(ctx context.Context, in any) (any, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		inFlight.Add(-1)
+		n := in.(int)
+		return n * n, nil
+	})
+	e := NewEndpoint("hpc", r, 4, 16)
+	defer e.Close()
+
+	inputs := []any{1, 2, 3, 4, 5, 6}
+	out, err := e.Map(context.Background(), "slowSquare", inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		want := (i + 1) * (i + 1)
+		if v != want {
+			t.Fatalf("out[%d] = %v, want %d", i, v, want)
+		}
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency %d, want >= 2", peak.Load())
+	}
+}
+
+func TestMapReportsFirstError(t *testing.T) {
+	r := NewRegistry()
+	r.Register("failOdd", func(ctx context.Context, in any) (any, error) {
+		if in.(int)%2 == 1 {
+			return nil, errors.New("odd input")
+		}
+		return in, nil
+	})
+	e := NewEndpoint("e", r, 2, 8)
+	defer e.Close()
+	out, err := e.Map(context.Background(), "failOdd", []any{0, 1, 2})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if out[0] != 0 || out[2] != 2 {
+		t.Fatalf("successful results lost: %v", out)
+	}
+}
+
+func TestClosedEndpointRejectsSubmissions(t *testing.T) {
+	r := NewRegistry()
+	r.Register("id", func(ctx context.Context, in any) (any, error) { return in, nil })
+	e := NewEndpoint("e", r, 1, 1)
+	e.Close()
+	if _, err := e.Submit(context.Background(), "id", 1); err == nil {
+		t.Fatal("expected closed-endpoint error")
+	}
+	e.Close() // idempotent
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	r := NewRegistry()
+	release := make(chan struct{})
+	r.Register("block", func(ctx context.Context, in any) (any, error) {
+		<-release
+		return nil, nil
+	})
+	e := NewEndpoint("e", r, 1, 1)
+	defer func() {
+		close(release)
+		e.Close()
+	}()
+	f, err := e.Submit(context.Background(), "block", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := f.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait error = %v", err)
+	}
+}

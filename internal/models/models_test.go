@@ -1,0 +1,241 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fairdms/internal/datagen"
+	"fairdms/internal/dataloader"
+	"fairdms/internal/nn"
+	"fairdms/internal/stats"
+	"fairdms/internal/tensor"
+)
+
+func braggData(t *testing.T, n, patch int, seed int64) (*tensor.Tensor, *tensor.Tensor) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	regime := datagen.DefaultBraggRegime()
+	regime.Patch = patch
+	b, err := dataloader.Collate(regime.Generate(rng, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.X, b.Y
+}
+
+func TestBraggNNForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewBraggNN(rng, 15)
+	x, _ := braggData(t, 4, 15, 2)
+	out := m.Net.Forward(x, false)
+	if out.Dim(0) != 4 || out.Dim(1) != 2 {
+		t.Fatalf("output shape %v", out.Shape())
+	}
+	for _, v := range out.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("sigmoid output %g outside (0,1)", v)
+		}
+	}
+}
+
+func TestBraggNNLearnsCenters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	patch := 9
+	m := NewBraggNN(rng, patch)
+	x, y := braggData(t, 200, patch, 4)
+	valX, valY := braggData(t, 60, patch, 5)
+
+	before := m.MeanErrorPx(valX, valY)
+	opt := nn.NewAdam(m.Net.Params(), 2e-3)
+	nn.Fit(m.Net, opt, x, m.Targets(y), valX, m.Targets(valY), nn.TrainConfig{
+		Epochs: 30, BatchSize: 32, Seed: 6,
+	})
+	after := m.MeanErrorPx(valX, valY)
+	if after >= before/2 {
+		t.Fatalf("BraggNN did not learn: %.3f -> %.3f px", before, after)
+	}
+	// Sub-pixel-ish accuracy on easy synthetic data.
+	if after > 1.5 {
+		t.Fatalf("BraggNN error %.3f px too high after training", after)
+	}
+}
+
+func TestBraggNNErrorsPxPerSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewBraggNN(rng, 15)
+	x, y := braggData(t, 8, 15, 8)
+	errs := m.ErrorsPx(x, y)
+	if len(errs) != 8 {
+		t.Fatalf("got %d errors", len(errs))
+	}
+	for _, e := range errs {
+		if e < 0 || e > 25 {
+			t.Fatalf("implausible pixel error %g", e)
+		}
+	}
+}
+
+func TestBraggNNStateRoundTripPreservesPredictions(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := NewBraggNN(rng, 9)
+	b := NewBraggNN(rng, 9)
+	if err := b.Net.LoadState(a.Net.State()); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := braggData(t, 4, 9, 10)
+	pa := a.Net.Forward(x, false)
+	pb := b.Net.Forward(x, false)
+	if !tensor.AllClose(pa, pb, 1e-12) {
+		t.Fatal("models disagree after weight transfer")
+	}
+}
+
+func TestBraggNNHasMCDropout(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewBraggNN(rng, 9)
+	if n := nn.SetMC(m.Net, true); n == 0 {
+		t.Fatal("BraggNN must contain a Dropout layer for MC uncertainty")
+	}
+}
+
+func cookieData(t *testing.T, n, size int, seed int64) (*tensor.Tensor, *tensor.Tensor) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	regime := datagen.DefaultCookieRegime()
+	regime.Size = size
+	b, err := dataloader.Collate(regime.Generate(rng, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ScaleInputs(b.X), b.Y
+}
+
+func TestCookieNetAELearnsDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	size := 16
+	m := NewCookieNetAE(rng, size)
+	x, y := cookieData(t, 80, size, 13)
+	valX, valY := cookieData(t, 24, size, 14)
+
+	before := m.Loss(valX, valY)
+	opt := nn.NewAdam(m.Net.Params(), 1e-3)
+	nn.Fit(m.Net, opt, x, m.Targets(y), valX, m.Targets(valY), nn.TrainConfig{
+		Epochs: 25, BatchSize: 16, Seed: 15,
+	})
+	after := m.Loss(valX, valY)
+	if after >= before/2 {
+		t.Fatalf("CookieNetAE did not learn: %.4f -> %.4f", before, after)
+	}
+}
+
+func TestCookieTargetsScaling(t *testing.T) {
+	m := &CookieNetAE{Size: 4}
+	labels := tensor.Full(0.0625, 1, 16) // uniform density over 16 pixels
+	targets := m.Targets(labels)
+	for _, v := range targets.Data() {
+		if v != 1 {
+			t.Fatalf("scaled target = %g, want 1", v)
+		}
+	}
+}
+
+func TestScaleInputsRange(t *testing.T) {
+	x := tensor.FromSlice([]float64{0, 255}, 1, 2)
+	s := ScaleInputs(x)
+	if s.At(0, 0) != 0 || s.At(0, 1) != 1 {
+		t.Fatalf("scaled = %v", s.Data())
+	}
+}
+
+func TestPoolSizeSelection(t *testing.T) {
+	if poolSize(15) != 3 || poolSize(16) != 2 || poolSize(9) != 3 || poolSize(7) != 1 {
+		t.Fatal("poolSize selection wrong")
+	}
+}
+
+func tomoPairs(t *testing.T, n, size int, seed int64) (*tensor.Tensor, *tensor.Tensor) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	regime := datagen.TomoRegime{Size: size, Ellipses: 3, Dose: 300}
+	x := tensor.New(n, size*size)
+	y := tensor.New(n, size*size)
+	for i := 0; i < n; i++ {
+		noisy, clean := regime.GeneratePair(rng)
+		copy(x.Row(i), noisy.Floats())
+		copy(y.Row(i), clean)
+	}
+	return x, y
+}
+
+func TestDenoiseNetImprovesPSNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	size := 16
+	d := NewDenoiseNet(rng, size)
+	x, y := tomoPairs(t, 40, size, 31)
+	nx := d.NormalizeInputs(x)
+	valX, valY := tomoPairs(t, 12, size, 32)
+	nvx := d.NormalizeInputs(valX)
+
+	before := d.PSNR(nvx, valY)
+	opt := nn.NewAdam(d.Net.Params(), 2e-3)
+	nn.Fit(d.Net, opt, nx, y, nvx, valY, nn.TrainConfig{Epochs: 25, BatchSize: 8, Seed: 33})
+	after := d.PSNR(nvx, valY)
+	if after <= before+1 {
+		t.Fatalf("denoiser PSNR %.2f dB -> %.2f dB, want > +1 dB", before, after)
+	}
+	// And the denoised output beats the raw noisy input.
+	noisyPSNR := psnrOf(nvx, valY)
+	if after <= noisyPSNR {
+		t.Fatalf("denoised PSNR %.2f dB not above noisy input %.2f dB", after, noisyPSNR)
+	}
+}
+
+// psnrOf computes PSNR of raw images against clean targets.
+func psnrOf(x, clean *tensor.Tensor) float64 {
+	total := 0.0
+	n := x.Dim(0)
+	for i := 0; i < n; i++ {
+		mse := 0.0
+		xr, cr := x.Row(i), clean.Row(i)
+		for j := range xr {
+			d := xr[j] - cr[j]
+			mse += d * d
+		}
+		mse /= float64(len(xr))
+		if mse < 1e-12 {
+			mse = 1e-12
+		}
+		total += 10 * mathLog10(1/mse)
+	}
+	return total / float64(n)
+}
+
+func mathLog10(v float64) float64 {
+	return math.Log10(v)
+}
+
+func TestTomoGeneratePairConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	regime := datagen.TomoRegime{Size: 16, Ellipses: 3, Dose: 5000}
+	noisy, clean := regime.GeneratePair(rng)
+	if len(clean) != 256 {
+		t.Fatalf("clean label has %d pixels", len(clean))
+	}
+	for _, v := range clean {
+		if v < 0 || v > 1 {
+			t.Fatalf("clean pixel %g outside [0,1]", v)
+		}
+	}
+	// At high dose, the normalized noisy image correlates strongly with
+	// the clean one.
+	nf := noisy.Floats()
+	var xs, ys []float64
+	for i := range nf {
+		xs = append(xs, nf[i]/65535)
+		ys = append(ys, clean[i])
+	}
+	if r := stats.PearsonCorrelation(xs, ys); r < 0.9 {
+		t.Fatalf("high-dose noisy/clean correlation %.3f, want > 0.9", r)
+	}
+}

@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fairdms/internal/tensor"
+)
+
+// Conv2d is a 2-D convolution over (batch, C*H*W) inputs using im2col +
+// matrix multiply. Weights have shape (outC, inC*KH*KW).
+type Conv2d struct {
+	Dims tensor.ConvDims
+	OutC int
+	w, b *Param
+
+	lastX    *tensor.Tensor
+	lastCols []*tensor.Tensor // per-sample column matrices kept for backward
+}
+
+// NewConv2d returns a convolution layer for the given geometry.
+func NewConv2d(rng *rand.Rand, dims tensor.ConvDims, outC int) *Conv2d {
+	dims.Validate()
+	fanIn := dims.InC * dims.KH * dims.KW
+	w := tensor.New(outC, fanIn)
+	heInit(rng, w, fanIn)
+	return &Conv2d{
+		Dims: dims,
+		OutC: outC,
+		w:    newParam(fmt.Sprintf("conv_%dc%dk%d_w", outC, dims.InC, dims.KH), w),
+		b:    newParam(fmt.Sprintf("conv_%dc%dk%d_b", outC, dims.InC, dims.KH), tensor.New(outC)),
+	}
+}
+
+// InFeatures returns the expected flattened input width (C*H*W).
+func (c *Conv2d) InFeatures() int { return c.Dims.InC * c.Dims.InH * c.Dims.InW }
+
+// OutFeatures returns the flattened output width (outC*outH*outW).
+func (c *Conv2d) OutFeatures() int { return c.OutC * c.Dims.OutH() * c.Dims.OutW() }
+
+// Forward convolves each batch sample in parallel.
+func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatch("Conv2d", x, c.InFeatures())
+	n := x.Dim(0)
+	outH, outW := c.Dims.OutH(), c.Dims.OutW()
+	colRows := c.Dims.InC * c.Dims.KH * c.Dims.KW
+	colCols := outH * outW
+	out := tensor.New(n, c.OutFeatures())
+	cols := make([]*tensor.Tensor, n)
+	c.lastX = x
+
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			col := tensor.New(colRows, colCols)
+			tensor.Im2Col(x.Row(i), c.Dims, col.Data())
+			cols[i] = col
+			// (outC × colRows) · (colRows × colCols) = outC × colCols
+			y := tensor.MatMul(c.w.Value, col)
+			yd := y.Data()
+			orow := out.Row(i)
+			for oc := 0; oc < c.OutC; oc++ {
+				bias := c.b.Value.Data()[oc]
+				for j := 0; j < colCols; j++ {
+					orow[oc*colCols+j] = yd[oc*colCols+j] + bias
+				}
+			}
+		}
+	})
+	c.lastCols = cols
+	return out
+}
+
+// Backward accumulates weight/bias gradients and returns the input gradient.
+func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastX == nil {
+		panic("nn: Conv2d.Backward before Forward")
+	}
+	n := grad.Dim(0)
+	outH, outW := c.Dims.OutH(), c.Dims.OutW()
+	colRows := c.Dims.InC * c.Dims.KH * c.Dims.KW
+	colCols := outH * outW
+	dx := tensor.New(n, c.InFeatures())
+
+	// Per-sample weight-gradient partials are accumulated into shards and
+	// reduced at the end so the parallel loop never contends on c.w.Grad.
+	type shard struct {
+		dw *tensor.Tensor
+		db *tensor.Tensor
+	}
+	shards := make([]shard, n)
+
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g := tensor.FromSlice(grad.Row(i), c.OutC, colCols)
+			col := c.lastCols[i]
+			// dW += g · colᵀ ; dCol = Wᵀ · g
+			shards[i].dw = tensor.MatMulTransB(g, col)
+			db := tensor.New(c.OutC)
+			for oc := 0; oc < c.OutC; oc++ {
+				s := 0.0
+				for j := 0; j < colCols; j++ {
+					s += g.Data()[oc*colCols+j]
+				}
+				db.Data()[oc] = s
+			}
+			shards[i].db = db
+			dcol := tensor.MatMulTransA(c.w.Value, g)
+			tensor.Col2Im(dcol.Data(), c.Dims, dx.Row(i))
+		}
+	})
+	for i := range shards {
+		tensor.AddInPlace(c.w.Grad, shards[i].dw)
+		tensor.AddInPlace(c.b.Grad, shards[i].db)
+	}
+	_ = colRows
+	return dx
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv2d) Params() []*Param { return []*Param{c.w, c.b} }
+
+// MaxPool2d is a 2-D max pooling layer over (batch, C*H*W) inputs.
+type MaxPool2d struct {
+	C, H, W int
+	Size    int // pooling window and stride (non-overlapping)
+
+	lastArg []int // flat index of each max, for routing gradients
+	lastN   int
+}
+
+// NewMaxPool2d returns a non-overlapping max-pool of the given window size.
+func NewMaxPool2d(c, h, w, size int) *MaxPool2d {
+	if size < 1 || h%size != 0 || w%size != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2d window %d must evenly divide %dx%d", size, h, w))
+	}
+	return &MaxPool2d{C: c, H: h, W: w, Size: size}
+}
+
+// OutFeatures returns the flattened pooled width.
+func (p *MaxPool2d) OutFeatures() int { return p.C * (p.H / p.Size) * (p.W / p.Size) }
+
+// Forward takes the max over each window, remembering argmax positions.
+func (p *MaxPool2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatch("MaxPool2d", x, p.C*p.H*p.W)
+	n := x.Dim(0)
+	oh, ow := p.H/p.Size, p.W/p.Size
+	out := tensor.New(n, p.OutFeatures())
+	arg := make([]int, n*p.OutFeatures())
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xrow := x.Row(i)
+			orow := out.Row(i)
+			for c := 0; c < p.C; c++ {
+				chOff := c * p.H * p.W
+				for y := 0; y < oh; y++ {
+					for z := 0; z < ow; z++ {
+						best := -1.0
+						bestAt := -1
+						for dy := 0; dy < p.Size; dy++ {
+							for dz := 0; dz < p.Size; dz++ {
+								at := chOff + (y*p.Size+dy)*p.W + z*p.Size + dz
+								if bestAt < 0 || xrow[at] > best {
+									best, bestAt = xrow[at], at
+								}
+							}
+						}
+						oat := c*oh*ow + y*ow + z
+						orow[oat] = best
+						arg[i*p.OutFeatures()+oat] = bestAt
+					}
+				}
+			}
+		}
+	})
+	p.lastArg = arg
+	p.lastN = n
+	return out
+}
+
+// Backward routes each gradient to the position that produced the max.
+func (p *MaxPool2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.lastArg == nil {
+		panic("nn: MaxPool2d.Backward before Forward")
+	}
+	out := tensor.New(p.lastN, p.C*p.H*p.W)
+	of := p.OutFeatures()
+	for i := 0; i < p.lastN; i++ {
+		grow := grad.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < of; j++ {
+			orow[p.lastArg[i*of+j]] += grow[j]
+		}
+	}
+	return out
+}
+
+// Params returns nil: pooling has no parameters.
+func (p *MaxPool2d) Params() []*Param { return nil }

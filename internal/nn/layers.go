@@ -1,0 +1,257 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fairdms/internal/tensor"
+)
+
+// Linear is a fully connected layer: y = xW + b with W of shape (in, out).
+type Linear struct {
+	In, Out int
+	w, b    *Param
+	lastX   *tensor.Tensor
+}
+
+// NewLinear returns a Linear layer with He-initialized weights.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	w := tensor.New(in, out)
+	heInit(rng, w, in)
+	return &Linear{
+		In:  in,
+		Out: out,
+		w:   newParam(fmt.Sprintf("linear_%dx%d_w", in, out), w),
+		b:   newParam(fmt.Sprintf("linear_%dx%d_b", in, out), tensor.New(out)),
+	}
+}
+
+// Forward computes xW + b.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkBatch("Linear", x, l.In)
+	l.lastX = x
+	return tensor.AddRowVector(tensor.MatMul(x, l.w.Value), l.b.Value)
+}
+
+// Backward accumulates dW = xᵀ·g, db = Σg and returns dX = g·Wᵀ.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.lastX == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	tensor.AddInPlace(l.w.Grad, tensor.MatMulTransA(l.lastX, grad))
+	tensor.AddInPlace(l.b.Grad, tensor.SumRows(grad))
+	return tensor.MatMulTransB(grad, l.w.Value)
+}
+
+// Params returns the weight and bias parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.w, l.b} }
+
+// ReLU is the rectified linear activation, max(0, x).
+type ReLU struct{ lastX *tensor.Tensor }
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward clamps negatives to zero.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	r.lastX = x
+	return tensor.Apply(x, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+}
+
+// Backward passes gradient only where the input was positive.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	xd, gd, od := r.lastX.Data(), grad.Data(), out.Data()
+	for i := range gd {
+		if xd[i] > 0 {
+			od[i] = gd[i]
+		}
+	}
+	return out
+}
+
+// Params returns nil: ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// LeakyReLU is max(x, alpha*x), BraggNN's activation.
+type LeakyReLU struct {
+	Alpha float64
+	lastX *tensor.Tensor
+}
+
+// NewLeakyReLU returns a LeakyReLU with the given negative slope.
+func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// Forward applies the leaky rectifier.
+func (r *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	r.lastX = x
+	a := r.Alpha
+	return tensor.Apply(x, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return a * v
+	})
+}
+
+// Backward scales gradient by 1 or alpha depending on input sign.
+func (r *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	xd, gd, od := r.lastX.Data(), grad.Data(), out.Data()
+	for i := range gd {
+		if xd[i] > 0 {
+			od[i] = gd[i]
+		} else {
+			od[i] = r.Alpha * gd[i]
+		}
+	}
+	return out
+}
+
+// Params returns nil: LeakyReLU has no parameters.
+func (r *LeakyReLU) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation 1/(1+e^-x).
+type Sigmoid struct{ lastY *tensor.Tensor }
+
+// NewSigmoid returns a Sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward applies the logistic function.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.Apply(x, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	s.lastY = y
+	return y
+}
+
+// Backward multiplies by y(1-y).
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	yd, gd, od := s.lastY.Data(), grad.Data(), out.Data()
+	for i := range gd {
+		od[i] = gd[i] * yd[i] * (1 - yd[i])
+	}
+	return out
+}
+
+// Params returns nil: Sigmoid has no parameters.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct{ lastY *tensor.Tensor }
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh element-wise.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.Apply(x, math.Tanh)
+	t.lastY = y
+	return y
+}
+
+// Backward multiplies by 1 - y².
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape()...)
+	yd, gd, od := t.lastY.Data(), grad.Data(), out.Data()
+	for i := range gd {
+		od[i] = gd[i] * (1 - yd[i]*yd[i])
+	}
+	return out
+}
+
+// Params returns nil: Tanh has no parameters.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Dropout randomly zeroes activations with probability P during training,
+// scaling survivors by 1/(1-P) (inverted dropout). When MC is true the mask
+// is also applied at inference time, which is what Monte-Carlo dropout
+// uncertainty quantification (Gal & Ghahramani; paper Fig. 2) requires.
+type Dropout struct {
+	P   float64
+	MC  bool
+	rng *rand.Rand
+
+	lastMask []float64
+}
+
+// NewDropout returns a dropout layer with drop probability p.
+func NewDropout(rng *rand.Rand, p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %g outside [0,1)", p))
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward applies the random mask in training (or MC) mode and is the
+// identity otherwise.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if (!train && !d.MC) || d.P == 0 {
+		d.lastMask = nil
+		return x
+	}
+	keep := 1 - d.P
+	scale := 1 / keep
+	mask := make([]float64, x.Len())
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	for i := range xd {
+		if d.rng.Float64() < keep {
+			mask[i] = scale
+			od[i] = xd[i] * scale
+		}
+	}
+	d.lastMask = mask
+	return out
+}
+
+// Backward applies the same mask to the gradient.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.lastMask == nil {
+		return grad
+	}
+	out := tensor.New(grad.Shape()...)
+	gd, od := grad.Data(), out.Data()
+	for i := range gd {
+		od[i] = gd[i] * d.lastMask[i]
+	}
+	return out
+}
+
+// Params returns nil: Dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Identity passes input and gradient through unchanged. It is useful as a
+// structural placeholder (e.g. a pooling slot that a geometry doesn't need).
+type Identity struct{}
+
+// NewIdentity returns an Identity layer.
+func NewIdentity() *Identity { return &Identity{} }
+
+// Forward returns x unchanged.
+func (Identity) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { return x }
+
+// Backward returns grad unchanged.
+func (Identity) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad }
+
+// Params returns nil: Identity has no parameters.
+func (Identity) Params() []*Param { return nil }
+
+// SetMC toggles Monte-Carlo mode on every Dropout layer in the model and
+// returns how many layers were affected.
+func SetMC(m *Model, on bool) int {
+	n := 0
+	for _, l := range m.Layers() {
+		if d, ok := l.(*Dropout); ok {
+			d.MC = on
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,140 @@
+// Package nn is a compact neural-network library over the tensor substrate:
+// layers with hand-written backpropagation, losses, and optimizers. It stands
+// in for the PyTorch stack the fairDMS paper trains BraggNN, CookieNetAE,
+// and the self-supervised embedding models with.
+//
+// The API follows the familiar layer/module shape:
+//
+//	model := nn.Sequential(
+//		nn.NewLinear(rng, 16, 64), nn.NewReLU(),
+//		nn.NewLinear(rng, 64, 2),
+//	)
+//	out := model.Forward(x, true)  // training mode
+//	loss, grad := nn.MSE(out, target)
+//	model.Backward(grad)
+//	opt.Step()
+//
+// Inputs are 2-D tensors of shape (batch, features); convolutional layers
+// interpret the feature axis as flattened C×H×W with geometry given at
+// construction. All layers are deterministic given their *rand.Rand.
+// Layers are not safe for concurrent Forward/Backward on the same instance;
+// clone the model (via StateDict round-trip) for parallel evaluation.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fairdms/internal/tensor"
+)
+
+// Param is a trainable tensor with its accumulated gradient.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// newParam allocates a parameter and a matching zero gradient.
+func newParam(name string, v *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: v, Grad: tensor.New(v.Shape()...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	d := p.Grad.Data()
+	for i := range d {
+		d[i] = 0
+	}
+}
+
+// Layer is one differentiable stage of a model. Forward stores whatever
+// activations Backward needs; Backward consumes the loss gradient w.r.t. the
+// layer output and returns the gradient w.r.t. the layer input, accumulating
+// parameter gradients along the way.
+type Layer interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Model is a sequential stack of layers.
+type Model struct {
+	layers []Layer
+}
+
+// Sequential builds a model from layers applied in order.
+func Sequential(layers ...Layer) *Model { return &Model{layers: layers} }
+
+// Append adds layers to the end of the model and returns it.
+func (m *Model) Append(layers ...Layer) *Model {
+	m.layers = append(m.layers, layers...)
+	return m
+}
+
+// Layers returns the underlying layer slice (not a copy).
+func (m *Model) Layers() []Layer { return m.layers }
+
+// Forward runs the input through every layer.
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range m.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the output gradient back through every layer.
+func (m *Model) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		grad = m.layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all trainable parameters in layer order.
+func (m *Model) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears every parameter gradient.
+func (m *Model) ZeroGrad() {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// heInit fills w with Kaiming-He normal initialization for fanIn inputs.
+func heInit(rng *rand.Rand, w *tensor.Tensor, fanIn int) {
+	std := 1.0
+	if fanIn > 0 {
+		std = math.Sqrt(2.0 / float64(fanIn))
+	}
+	d := w.Data()
+	for i := range d {
+		d[i] = rng.NormFloat64() * std
+	}
+}
+
+// checkBatch panics unless x is 2-D with the expected feature width.
+func checkBatch(layer string, x *tensor.Tensor, features int) {
+	if x.NDim() != 2 {
+		panic(fmt.Sprintf("nn: %s expects (batch, features) input, got shape %v", layer, x.Shape()))
+	}
+	if x.Dim(1) != features {
+		panic(fmt.Sprintf("nn: %s expects %d features, got %d", layer, features, x.Dim(1)))
+	}
+}

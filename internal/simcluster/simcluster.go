@@ -1,0 +1,102 @@
+// Package simcluster models the compute platforms of the paper's case study
+// (§III-H): an 80-core workstation ("Voigt-80") and an 18-node, 1440-core
+// cluster ("Voigt-1440") running embarrassingly parallel pseudo-Voigt
+// labeling. Neither machine exists here, so the package measures real
+// per-task cost on the host's cores and extrapolates wall time under a
+// perfect-scaling assumption — the most favorable case for the
+// conventional baseline, making fairDMS's reported speedups conservative.
+package simcluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Platform is a named pool of cores.
+type Platform struct {
+	Name  string
+	Cores int
+}
+
+// Standard platforms from the paper.
+var (
+	Workstation80 = Platform{Name: "Voigt-80", Cores: 80}
+	Cluster1440   = Platform{Name: "Voigt-1440", Cores: 1440}
+)
+
+// EstimateWallTime returns the wall time for nTasks independent tasks of
+// the given mean duration under perfect scaling on the platform: ceil
+// division of task count over cores times the per-task cost.
+func (p Platform) EstimateWallTime(nTasks int, perTask time.Duration) time.Duration {
+	if nTasks <= 0 {
+		return 0
+	}
+	if p.Cores < 1 {
+		return time.Duration(nTasks) * perTask
+	}
+	waves := (nTasks + p.Cores - 1) / p.Cores
+	return time.Duration(waves) * perTask
+}
+
+// MeasurePerTask runs the task n times on this machine and returns the mean
+// wall time per execution, the calibration input to EstimateWallTime.
+func MeasurePerTask(task func(), n int) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		task()
+	}
+	return time.Since(start) / time.Duration(n)
+}
+
+// RunParallel executes tasks on up to workers goroutines (default: host
+// cores) and returns the elapsed wall time. It is the honest local
+// execution path used when the task count is small enough to run for real.
+func RunParallel(tasks []func(), workers int) time.Duration {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	ch := make(chan func())
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				t()
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	return time.Since(start)
+}
+
+// Extrapolation reports a calibrated estimate for one platform.
+type Extrapolation struct {
+	Platform Platform
+	PerTask  time.Duration // measured mean per-task time on this host
+	Tasks    int
+	Wall     time.Duration // estimated wall time on the platform
+}
+
+// String formats the estimate for experiment reports.
+func (e Extrapolation) String() string {
+	return fmt.Sprintf("%s: %d tasks × %v/task ⇒ %v wall (%d cores, perfect scaling)",
+		e.Platform.Name, e.Tasks, e.PerTask, e.Wall, e.Platform.Cores)
+}
+
+// Extrapolate calibrates per-task cost by running sampleN real executions
+// of task on this host, then estimates wall time for nTasks on the platform.
+func Extrapolate(p Platform, task func(), sampleN, nTasks int) Extrapolation {
+	per := MeasurePerTask(task, sampleN)
+	return Extrapolation{Platform: p, PerTask: per, Tasks: nTasks, Wall: p.EstimateWallTime(nTasks, per)}
+}

@@ -1,0 +1,48 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minParallelWork is the smallest iteration count worth fanning out across
+// goroutines; below it, the scheduling overhead dominates.
+const minParallelWork = 64
+
+// ParallelFor splits [0, n) into contiguous blocks and runs body(lo, hi) on
+// each block, using up to GOMAXPROCS goroutines. body must be safe to run
+// concurrently on disjoint ranges. Small n runs inline on the caller.
+func ParallelFor(n int, body func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n < minParallelWork || workers <= 1 {
+		body(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelMap runs f(i) for every i in [0, n) across a bounded worker pool
+// and reports results via out, which must have length n.
+func ParallelMap(n int, out []float64, f func(i int) float64) {
+	ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(i)
+		}
+	})
+}

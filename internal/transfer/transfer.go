@@ -1,0 +1,170 @@
+// Package transfer is fairDMS's stand-in for Globus transfer
+// (paper §III-C): it moves named byte blobs between in-memory endpoints
+// over links with a configured bandwidth and latency, sleeping a scaled
+// simulated duration so end-to-end workflow timings include data-movement
+// cost. Endpoints model the experimental facility and the compute cluster.
+package transfer
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Endpoint is a named in-memory object store (a simulated filesystem).
+type Endpoint struct {
+	Name string
+
+	mu    sync.RWMutex
+	blobs map[string][]byte
+}
+
+// NewEndpoint returns an empty endpoint.
+func NewEndpoint(name string) *Endpoint {
+	return &Endpoint{Name: name, blobs: make(map[string][]byte)}
+}
+
+// Put stores a blob under name (copying it).
+func (e *Endpoint) Put(name string, data []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.blobs[name] = append([]byte(nil), data...)
+}
+
+// Get returns a copy of the named blob.
+func (e *Endpoint) Get(name string) ([]byte, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	b, ok := e.blobs[name]
+	if !ok {
+		return nil, fmt.Errorf("transfer: blob %q not found on endpoint %q", name, e.Name)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Has reports whether the named blob exists.
+func (e *Endpoint) Has(name string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.blobs[name]
+	return ok
+}
+
+// Delete removes the named blob if present.
+func (e *Endpoint) Delete(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.blobs, name)
+}
+
+// Link models a network path between two endpoints.
+type Link struct {
+	Bandwidth float64       // bytes per second (required > 0)
+	Latency   time.Duration // per-transfer setup latency
+}
+
+// Duration returns the simulated wall time to move size bytes.
+func (l Link) Duration(size int) time.Duration {
+	if l.Bandwidth <= 0 {
+		return l.Latency
+	}
+	return l.Latency + time.Duration(float64(size)/l.Bandwidth*float64(time.Second))
+}
+
+// Service routes transfers between endpoints. TimeScale compresses
+// simulated time: a TimeScale of 0.01 sleeps 1% of the modeled duration
+// while still reporting the full modeled duration in results.
+type Service struct {
+	TimeScale float64
+
+	mu     sync.RWMutex
+	links  map[string]Link
+	nextID atomic.Int64
+}
+
+// NewService returns a service with the given time compression
+// (values <= 0 mean "do not sleep at all").
+func NewService(timeScale float64) *Service {
+	return &Service{TimeScale: timeScale, links: make(map[string]Link)}
+}
+
+func linkKey(src, dst string) string { return src + "→" + dst }
+
+// SetLink configures the link from src to dst endpoints (directional).
+func (s *Service) SetLink(src, dst string, l Link) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.links[linkKey(src, dst)] = l
+}
+
+// linkFor returns the configured link or a default fast LAN link.
+func (s *Service) linkFor(src, dst string) Link {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if l, ok := s.links[linkKey(src, dst)]; ok {
+		return l
+	}
+	return Link{Bandwidth: 12.5e9, Latency: 100 * time.Microsecond} // 100 Gb/s
+}
+
+// Result describes a completed transfer.
+type Result struct {
+	ID       int64
+	Name     string
+	Bytes    int
+	Modeled  time.Duration // modeled wall time on the simulated link
+	Slept    time.Duration // actual time spent sleeping (Modeled × TimeScale)
+	Src, Dst string
+}
+
+// Transfer copies the named blob from src to dst, sleeping the scaled
+// modeled duration. It fails if the blob is missing or ctx is canceled
+// during the simulated movement.
+func (s *Service) Transfer(ctx context.Context, src, dst *Endpoint, name string) (*Result, error) {
+	data, err := src.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	link := s.linkFor(src.Name, dst.Name)
+	modeled := link.Duration(len(data))
+	var slept time.Duration
+	if s.TimeScale > 0 {
+		slept = time.Duration(float64(modeled) * s.TimeScale)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(slept):
+		}
+	}
+	dst.Put(name, data)
+	return &Result{
+		ID:   s.nextID.Add(1),
+		Name: name, Bytes: len(data),
+		Modeled: modeled, Slept: slept,
+		Src: src.Name, Dst: dst.Name,
+	}, nil
+}
+
+// TransferAll moves several blobs concurrently and returns their results in
+// input order; the first error is reported after all transfers settle.
+func (s *Service) TransferAll(ctx context.Context, src, dst *Endpoint, names []string) ([]*Result, error) {
+	results := make([]*Result, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			results[i], errs[i] = s.Transfer(ctx, src, dst, name)
+		}(i, name)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("transfer: blob %q: %w", names[i], err)
+		}
+	}
+	return results, nil
+}

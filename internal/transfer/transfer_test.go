@@ -1,0 +1,177 @@
+package transfer
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestEndpointPutGetIsolated(t *testing.T) {
+	e := NewEndpoint("aps")
+	data := []byte{1, 2, 3}
+	e.Put("scan", data)
+	data[0] = 99 // caller mutation must not reach the store
+	got, err := e.Get("scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatal("Put did not copy the blob")
+	}
+	got[1] = 99 // returned copy must not alias the store
+	again, _ := e.Get("scan")
+	if again[1] != 2 {
+		t.Fatal("Get did not copy the blob")
+	}
+	if !e.Has("scan") || e.Has("nope") {
+		t.Fatal("Has wrong")
+	}
+	e.Delete("scan")
+	if e.Has("scan") {
+		t.Fatal("Delete failed")
+	}
+}
+
+func TestGetMissingBlob(t *testing.T) {
+	e := NewEndpoint("x")
+	if _, err := e.Get("missing"); err == nil {
+		t.Fatal("expected error for missing blob")
+	}
+}
+
+func TestLinkDuration(t *testing.T) {
+	l := Link{Bandwidth: 1000, Latency: 10 * time.Millisecond}
+	// 500 bytes at 1000 B/s = 500 ms + 10 ms latency.
+	want := 510 * time.Millisecond
+	if got := l.Duration(500); got != want {
+		t.Fatalf("Duration = %v, want %v", got, want)
+	}
+	// Zero bandwidth degenerates to latency only.
+	if got := (Link{Latency: time.Second}).Duration(100); got != time.Second {
+		t.Fatalf("degenerate link = %v", got)
+	}
+}
+
+func TestTransferMovesBlobAndModelsTime(t *testing.T) {
+	s := NewService(0) // no sleeping in tests
+	src := NewEndpoint("facility")
+	dst := NewEndpoint("hpc")
+	s.SetLink("facility", "hpc", Link{Bandwidth: 1e6, Latency: time.Millisecond})
+
+	payload := make([]byte, 2_000_000)
+	src.Put("dataset", payload)
+	res, err := s.Transfer(context.Background(), src, dst, "dataset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Has("dataset") {
+		t.Fatal("blob not delivered")
+	}
+	if res.Bytes != len(payload) {
+		t.Fatalf("Bytes = %d", res.Bytes)
+	}
+	// 2 MB at 1 MB/s = 2 s + 1 ms.
+	want := 2*time.Second + time.Millisecond
+	if res.Modeled != want {
+		t.Fatalf("Modeled = %v, want %v", res.Modeled, want)
+	}
+	if res.Slept != 0 {
+		t.Fatalf("Slept = %v with TimeScale 0", res.Slept)
+	}
+}
+
+func TestTransferTimeScaleSleeps(t *testing.T) {
+	s := NewService(0.001)
+	src := NewEndpoint("a")
+	dst := NewEndpoint("b")
+	s.SetLink("a", "b", Link{Bandwidth: 1e3, Latency: 0})
+	src.Put("x", make([]byte, 10_000)) // modeled: 10 s → slept: 10 ms
+	start := time.Now()
+	res, err := s.Transfer(context.Background(), src, dst, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slept < 5*time.Millisecond {
+		t.Fatalf("Slept = %v, want ≈ 10 ms", res.Slept)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("wall time %v too short to have slept", elapsed)
+	}
+}
+
+func TestTransferMissingBlobFails(t *testing.T) {
+	s := NewService(0)
+	if _, err := s.Transfer(context.Background(), NewEndpoint("a"), NewEndpoint("b"), "ghost"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTransferCancellation(t *testing.T) {
+	s := NewService(1) // full-speed simulation
+	src := NewEndpoint("a")
+	dst := NewEndpoint("b")
+	s.SetLink("a", "b", Link{Bandwidth: 1, Latency: 0}) // 1 B/s: very slow
+	src.Put("big", make([]byte, 100))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := s.Transfer(ctx, src, dst, "big"); err == nil {
+		t.Fatal("expected cancellation")
+	}
+	if dst.Has("big") {
+		t.Fatal("canceled transfer must not deliver")
+	}
+}
+
+func TestTransferAllConcurrent(t *testing.T) {
+	s := NewService(0)
+	src := NewEndpoint("a")
+	dst := NewEndpoint("b")
+	names := []string{"m0", "m1", "m2", "m3"}
+	for _, n := range names {
+		src.Put(n, []byte(n))
+	}
+	results, err := s.TransferAll(context.Background(), src, dst, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Name != names[i] {
+			t.Fatalf("result %d is %s", i, r.Name)
+		}
+		if !dst.Has(names[i]) {
+			t.Fatalf("blob %s missing at destination", names[i])
+		}
+	}
+	// IDs are unique.
+	seen := map[int64]bool{}
+	for _, r := range results {
+		if seen[r.ID] {
+			t.Fatal("duplicate transfer ID")
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestTransferAllReportsError(t *testing.T) {
+	s := NewService(0)
+	src := NewEndpoint("a")
+	dst := NewEndpoint("b")
+	src.Put("ok", []byte{1})
+	if _, err := s.TransferAll(context.Background(), src, dst, []string{"ok", "missing"}); err == nil {
+		t.Fatal("expected error for missing blob")
+	}
+}
+
+func TestDefaultLinkUsedWhenUnset(t *testing.T) {
+	s := NewService(0)
+	src := NewEndpoint("a")
+	dst := NewEndpoint("b")
+	src.Put("x", make([]byte, 1024))
+	res, err := s.Transfer(context.Background(), src, dst, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Modeled <= 0 {
+		t.Fatalf("Modeled = %v", res.Modeled)
+	}
+}

@@ -1,0 +1,48 @@
+package voigt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchFit measures the per-peak labeling cost that dominates the
+// conventional baseline — the calibration input to the Fig. 15 Voigt-80 /
+// Voigt-1440 extrapolation.
+func benchFit(b *testing.B, patch int) {
+	rng := rand.New(rand.NewSource(1))
+	truth := Params{
+		Amp: 10, Cx: float64(patch) / 2, Cy: float64(patch)/2 - 0.7,
+		Sx: float64(patch) / 8, Sy: float64(patch) / 7, Eta: 0.4, Background: 1,
+	}
+	img := truth.Render(patch, patch)
+	for i := range img {
+		img[i] += rng.NormFloat64() * 0.2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(img, patch, patch, FitConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitPatch9(b *testing.B)  { benchFit(b, 9) }
+func BenchmarkFitPatch15(b *testing.B) { benchFit(b, 15) }
+func BenchmarkFitPatch21(b *testing.B) { benchFit(b, 21) }
+
+func BenchmarkEval(b *testing.B) {
+	p := Params{Amp: 10, Cx: 7, Cy: 7, Sx: 2, Sy: 2, Eta: 0.4, Background: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Eval(3.5, 9.1)
+	}
+}
+
+func BenchmarkCenterOfMass(b *testing.B) {
+	p := Params{Amp: 10, Cx: 7, Cy: 7, Sx: 2, Sy: 2, Eta: 0.4}
+	img := p.Render(15, 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CenterOfMass(img, 15, 15)
+	}
+}

@@ -1,0 +1,162 @@
+package voigt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEvalPeakValueAtCenter(t *testing.T) {
+	p := Params{Amp: 10, Cx: 7, Cy: 7, Sx: 2, Sy: 2, Eta: 0.3, Background: 1}
+	// At the exact center both G and L are 1, so v = Amp + bg.
+	if got := p.Eval(7, 7); math.Abs(got-11) > 1e-12 {
+		t.Fatalf("Eval at center = %g, want 11", got)
+	}
+	// Far away the profile decays toward the background.
+	if got := p.Eval(100, 100); got > 1.2 {
+		t.Fatalf("Eval far away = %g, want ~background", got)
+	}
+}
+
+func TestEvalDegenerateWidthsSafe(t *testing.T) {
+	p := Params{Amp: 1, Sx: 0, Sy: -5, Eta: 2}
+	if v := p.Eval(0, 0); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("degenerate params produced %g", v)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	p := Params{Amp: 5, Cx: 2, Cy: 3, Sx: 1, Sy: 1, Eta: 0.5}
+	img := p.Render(6, 5)
+	if len(img) != 30 {
+		t.Fatalf("rendered %d pixels, want 30", len(img))
+	}
+	// The brightest pixel must be at the integer pixel nearest the center.
+	best, at := math.Inf(-1), -1
+	for i, v := range img {
+		if v > best {
+			best, at = v, i
+		}
+	}
+	if at != 3*5+2 {
+		t.Fatalf("peak at flat index %d, want 17", at)
+	}
+}
+
+func TestCenterOfMass(t *testing.T) {
+	p := Params{Amp: 10, Cx: 4, Cy: 6, Sx: 1.5, Sy: 1.5, Eta: 0.4, Background: 2}
+	img := p.Render(11, 11)
+	cx, cy := CenterOfMass(img, 11, 11)
+	// Centroid of a peak not centered in the window is biased slightly
+	// toward the window center; demand agreement to half a pixel.
+	if math.Abs(cx-4) > 0.5 || math.Abs(cy-6) > 0.5 {
+		t.Fatalf("CoM = (%g, %g), want ≈ (4, 6)", cx, cy)
+	}
+}
+
+func TestCenterOfMassFlatImage(t *testing.T) {
+	img := make([]float64, 25)
+	cx, cy := CenterOfMass(img, 5, 5)
+	if cx != 2 || cy != 2 {
+		t.Fatalf("flat CoM = (%g, %g), want window center (2, 2)", cx, cy)
+	}
+}
+
+func TestFitRecoversNoiselessPeak(t *testing.T) {
+	truth := Params{Amp: 8, Cx: 7.3, Cy: 6.8, Sx: 1.8, Sy: 2.2, Eta: 0.35, Background: 0.5}
+	img := truth.Render(15, 15)
+	res, err := Fit(img, 15, 15, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params.Cx-truth.Cx) > 0.02 || math.Abs(res.Params.Cy-truth.Cy) > 0.02 {
+		t.Fatalf("fit center = (%g, %g), want (%g, %g)", res.Params.Cx, res.Params.Cy, truth.Cx, truth.Cy)
+	}
+	if math.Abs(res.Params.Amp-truth.Amp) > 0.5 {
+		t.Fatalf("fit amp = %g, want %g", res.Params.Amp, truth.Amp)
+	}
+}
+
+func TestFitRecoversNoisyPeakCenter(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth := Params{Amp: 10, Cx: 6.6, Cy: 8.1, Sx: 2.0, Sy: 1.6, Eta: 0.5, Background: 1}
+	img := truth.Render(15, 15)
+	for i := range img {
+		img[i] += rng.NormFloat64() * 0.3
+	}
+	res, err := Fit(img, 15, 15, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sub-pixel accuracy even at SNR ≈ 33.
+	if math.Abs(res.Params.Cx-truth.Cx) > 0.15 || math.Abs(res.Params.Cy-truth.Cy) > 0.15 {
+		t.Fatalf("noisy fit center = (%g, %g), want ≈ (%g, %g)",
+			res.Params.Cx, res.Params.Cy, truth.Cx, truth.Cy)
+	}
+}
+
+func TestFitImproveOverInitialGuess(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	truth := Params{Amp: 6, Cx: 5.5, Cy: 9.2, Sx: 2.5, Sy: 2.5, Eta: 0.7, Background: 0.2}
+	img := truth.Render(15, 15)
+	for i := range img {
+		img[i] += rng.NormFloat64() * 0.2
+	}
+	res, err := Fit(img, 15, 15, FitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CoM initial guess is biased toward the window center; LM must
+	// beat it.
+	comX, comY := CenterOfMass(img, 15, 15)
+	comErr := math.Hypot(comX-truth.Cx, comY-truth.Cy)
+	fitErr := math.Hypot(res.Params.Cx-truth.Cx, res.Params.Cy-truth.Cy)
+	if fitErr >= comErr {
+		t.Fatalf("fit error %g not better than CoM error %g", fitErr, comErr)
+	}
+}
+
+func TestFitBadImageSize(t *testing.T) {
+	if _, err := Fit(make([]float64, 10), 5, 5, FitConfig{}); err == nil {
+		t.Fatal("expected error for wrong image size")
+	}
+}
+
+func TestFitIterationCapRespected(t *testing.T) {
+	truth := Params{Amp: 4, Cx: 7, Cy: 7, Sx: 2, Sy: 2, Eta: 0.5}
+	img := truth.Render(15, 15)
+	res, err := Fit(img, 15, 15, FitConfig{MaxIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters > 4 {
+		t.Fatalf("ran %d iterations with cap 3", res.Iters)
+	}
+}
+
+func TestSolve7KnownSystem(t *testing.T) {
+	// Identity system.
+	var a [7][7]float64
+	var b [7]float64
+	for i := 0; i < 7; i++ {
+		a[i][i] = 2
+		b[i] = float64(i)
+	}
+	x, err := solve7(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if math.Abs(x[i]-float64(i)/2) > 1e-12 {
+			t.Fatalf("x[%d] = %g", i, x[i])
+		}
+	}
+}
+
+func TestSolve7Singular(t *testing.T) {
+	var a [7][7]float64
+	var b [7]float64
+	if _, err := solve7(a, b); err == nil {
+		t.Fatal("expected singularity error")
+	}
+}
