@@ -4,7 +4,12 @@
 // raw files ("NFS"), sweeping batch size and worker count for all three
 // paper datasets.
 //
-// Run with: go run ./examples/storagebench [-samples N]
+// Run with: go run ./examples/storagebench [-samples N] [-pool N]
+//
+// -pool caps the docstore client's connection pool; the cap is hard, so
+// loader workers beyond it queue on the pool semaphore rather than
+// opening extra TCP connections — sweeping it reproduces the paper's
+// client-count sensitivity.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 
 func main() {
 	samples := flag.Int("samples", 128, "samples per dataset")
+	pool := flag.Int("pool", 0, "docstore client connection-pool cap (0 = max workers + 2)")
 	flag.Parse()
 
 	scratch, err := os.MkdirTemp("", "fairdms-storagebench-*")
@@ -33,10 +39,11 @@ func main() {
 		experiments.StorageBragg,      // Fig. 8
 	} {
 		res, err := experiments.StorageSweep(experiments.StorageConfig{
-			Kind:    kind,
-			Samples: *samples,
-			Dir:     filepath.Join(scratch, string(kind)),
-			Seed:    1,
+			Kind:     kind,
+			Samples:  *samples,
+			PoolSize: *pool,
+			Dir:      filepath.Join(scratch, string(kind)),
+			Seed:     1,
 		})
 		if err != nil {
 			log.Fatal(err)

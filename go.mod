@@ -1,0 +1,3 @@
+module fairdms
+
+go 1.24

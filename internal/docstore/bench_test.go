@@ -6,7 +6,11 @@ import (
 )
 
 func benchCollection(n int) *Collection {
-	c := NewStore().Collection("bench")
+	return benchCollectionShards(n, defaultShardCount())
+}
+
+func benchCollectionShards(n, shards int) *Collection {
+	c := newCollectionShards("bench", shards)
 	c.CreateHashIndex("cluster")
 	batch := make([]Fields, n)
 	for i := range batch {
@@ -62,6 +66,82 @@ func BenchmarkFindScan(b *testing.B) {
 		if _, err := c.FindIDs(q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFindScanShards is the sharding ablation: the same unindexed
+// full-scan query against stripe counts from 1 (the seed's single-lock
+// layout) up to 16. Scan work fans out one goroutine per shard, so
+// throughput should rise with the stripe count on multi-core machines.
+func BenchmarkFindScanShards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := benchCollectionShards(65536, shards)
+			q := Query{Filters: []Filter{Eq("v", 7.0)}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.FindIDs(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFindScanParallelClients adds concurrent readers on top: many
+// goroutines issuing full scans at once, which on the single-stripe
+// layout all serialize behind one RWMutex.
+func BenchmarkFindScanParallelClients(b *testing.B) {
+	for _, shards := range []int{1, defaultShardCount()} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := benchCollectionShards(16384, shards)
+			q := Query{Filters: []Filter{Eq("v", 7.0)}}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := c.FindIDs(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkCountWhereShards measures the sort-free parallel count path.
+func BenchmarkCountWhereShards(b *testing.B) {
+	for _, shards := range []int{1, defaultShardCount()} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := benchCollectionShards(65536, shards)
+			q := Query{Filters: []Filter{Gte("v", 1024.0)}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.CountWhere(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInsertParallelShards measures striped-lock write throughput:
+// concurrent single-doc inserts against 1 vs N stripes.
+func BenchmarkInsertParallelShards(b *testing.B) {
+	for _, shards := range []int{1, defaultShardCount()} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := newCollectionShards("bench", shards)
+			c.CreateHashIndex("cluster")
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := c.Insert("", Fields{"cluster": i % 16, "v": float64(i)}); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
 	}
 }
 

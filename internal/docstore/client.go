@@ -6,21 +6,30 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Client is a pooled TCP client for a docstore Server. A pool of persistent
-// connections lets many goroutines (e.g. DataLoader workers) issue requests
-// concurrently — the paper's "fetch using multiple clients" extension of the
-// PyTorch DataLoader (§III-D). Client is safe for concurrent use.
+// Client is a pooled TCP client for a docstore Server. A pool of up to
+// poolSize persistent connections lets many goroutines (e.g. DataLoader
+// workers) issue requests concurrently — the paper's "fetch using multiple
+// clients" extension of the PyTorch DataLoader (§III-D). poolSize is a hard
+// cap: when all connections are in flight, further requests block on a
+// semaphore until one frees up (or the acquire timeout expires), so the
+// client never opens more than poolSize simultaneous connections no matter
+// how many goroutines hammer it. Client is safe for concurrent use.
 type Client struct {
 	addr    string
 	timeout time.Duration
+	seq     atomic.Uint64
+
+	// slots is the concurrency semaphore: one token per permitted
+	// connection. acquire takes a token before using (or dialing) a
+	// connection; release/discard return it.
+	slots chan struct{}
 
 	mu     sync.Mutex
 	idle   []*clientConn
-	total  int
-	max    int
 	closed bool
 }
 
@@ -36,7 +45,10 @@ func Dial(addr string, poolSize int) (*Client, error) {
 	if poolSize < 1 {
 		poolSize = 1
 	}
-	c := &Client{addr: addr, timeout: 10 * time.Second, max: poolSize}
+	c := &Client{addr: addr, timeout: 10 * time.Second, slots: make(chan struct{}, poolSize)}
+	for i := 0; i < poolSize; i++ {
+		c.slots <- struct{}{}
+	}
 	// Probe connectivity eagerly so misconfiguration fails fast.
 	if err := c.Ping(); err != nil {
 		return nil, fmt.Errorf("docstore: dial %s: %w", addr, err)
@@ -44,11 +56,29 @@ func Dial(addr string, poolSize int) (*Client, error) {
 	return c, nil
 }
 
-// acquire returns an idle connection or dials a new one.
+// acquire blocks until a pool slot is free, then returns an idle
+// connection or dials a new one. The caller owns both the slot and the
+// connection until it calls release or discard.
 func (c *Client) acquire() (*clientConn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		return nil, errors.New("docstore: client closed")
+	}
+	c.mu.Unlock()
+
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case <-c.slots:
+	case <-timer.C:
+		return nil, fmt.Errorf("docstore: pool exhausted for %v", c.timeout)
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.slots <- struct{}{}
 		return nil, errors.New("docstore: client closed")
 	}
 	if n := len(c.idle); n > 0 {
@@ -57,44 +87,43 @@ func (c *Client) acquire() (*clientConn, error) {
 		c.mu.Unlock()
 		return cc, nil
 	}
-	c.total++
 	c.mu.Unlock()
 
 	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
 	if err != nil {
-		c.mu.Lock()
-		c.total--
-		c.mu.Unlock()
+		c.slots <- struct{}{}
 		return nil, err
 	}
 	return &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
 }
 
-// release returns a healthy connection to the pool (or closes it if the
-// pool is full or shut down).
+// release returns a healthy connection to the idle list (or closes it if
+// the client shut down) and frees the caller's pool slot.
 func (c *Client) release(cc *clientConn) {
 	c.mu.Lock()
-	if !c.closed && len(c.idle) < c.max {
+	if !c.closed {
 		c.idle = append(c.idle, cc)
 		c.mu.Unlock()
+		c.slots <- struct{}{}
 		return
 	}
-	c.total--
 	c.mu.Unlock()
 	cc.conn.Close()
+	c.slots <- struct{}{}
 }
 
-// discard closes a broken connection.
+// discard closes a broken connection and frees the caller's pool slot.
 func (c *Client) discard(cc *clientConn) {
-	c.mu.Lock()
-	c.total--
-	c.mu.Unlock()
 	cc.conn.Close()
+	c.slots <- struct{}{}
 }
 
 // roundTrip sends one request and reads one response, retrying once on a
 // broken pooled connection (the peer may have dropped it between uses).
+// Responses are matched to requests by sequence number; a mismatch means
+// the connection carries a stale or reordered stream and is discarded.
 func (c *Client) roundTrip(req *request) (*response, error) {
+	req.Seq = c.seq.Add(1)
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		cc, err := c.acquire()
@@ -110,6 +139,11 @@ func (c *Client) roundTrip(req *request) (*response, error) {
 		if err := cc.dec.Decode(&resp); err != nil {
 			c.discard(cc)
 			lastErr = err
+			continue
+		}
+		if resp.Seq != req.Seq {
+			c.discard(cc)
+			lastErr = fmt.Errorf("docstore: response seq %d for request %d", resp.Seq, req.Seq)
 			continue
 		}
 		c.release(cc)
@@ -252,7 +286,8 @@ func (c *Client) Drop(collection string) error {
 	return err
 }
 
-// Close shuts the pool down.
+// Close shuts the pool down. In-flight requests finish; their connections
+// are closed on release.
 func (c *Client) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -3,17 +3,39 @@ package docstore
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Collection is a concurrently accessible set of documents with optional
 // secondary indexes. All exported methods are safe for parallel use.
+//
+// Storage is lock-striped: documents are spread over a power-of-two number
+// of shards by document-ID hash, each shard guarded by its own RWMutex and
+// carrying its own fragment of every index. Writers touching different
+// shards proceed in parallel, and full scans fan out one goroutine per
+// shard — the store's "parallel reads during training / parallel writes
+// during data updates" requirements (paper §II-A) at the lock level.
 type Collection struct {
+	name   string
+	nextID atomic.Uint64
+	shards []*shard
+	mask   uint32
+
+	// idxMu guards the index registry: the authoritative set of indexed
+	// fields. Per-shard index fragments are guarded by the shard locks.
+	idxMu      sync.Mutex
+	hashFields map[string]struct{}
+	ordFields  map[string]struct{}
+}
+
+// shard is one lock stripe: a slice of the document space plus its
+// fragment of every secondary index.
+type shard struct {
 	mu      sync.RWMutex
-	name    string
 	docs    map[string]*Doc
-	nextID  uint64
 	hashIdx map[string]map[string]map[string]struct{} // field → key → id set
 	ordIdx  map[string][]ordEntry                     // field → sorted entries
 }
@@ -23,13 +45,87 @@ type ordEntry struct {
 	id  string
 }
 
-func newCollection(name string) *Collection {
-	return &Collection{
-		name:    name,
-		docs:    make(map[string]*Doc),
-		hashIdx: make(map[string]map[string]map[string]struct{}),
-		ordIdx:  make(map[string][]ordEntry),
+// defaultShardCount picks a power of two near GOMAXPROCS, clamped to
+// [1, 32]: enough stripes that writers rarely collide, few enough that
+// per-shard maps stay dense.
+func defaultShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
 	}
+	if n > 32 {
+		n = 32
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func newCollection(name string) *Collection {
+	return newCollectionShards(name, defaultShardCount())
+}
+
+// newCollectionShards builds a collection with an explicit shard count
+// (rounded up to a power of two); tests and benchmarks use it to pin the
+// stripe layout.
+func newCollectionShards(name string, n int) *Collection {
+	if n < 1 {
+		n = 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	c := &Collection{
+		name:       name,
+		shards:     make([]*shard, p),
+		mask:       uint32(p - 1),
+		hashFields: make(map[string]struct{}),
+		ordFields:  make(map[string]struct{}),
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			docs:    make(map[string]*Doc),
+			hashIdx: make(map[string]map[string]map[string]struct{}),
+			ordIdx:  make(map[string][]ordEntry),
+		}
+	}
+	return c
+}
+
+// shardFor maps a document ID to its stripe by inlined FNV-1a, keeping
+// the per-operation hash allocation-free.
+func (c *Collection) shardFor(id string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return c.shards[h&c.mask]
+}
+
+// NumShards reports the stripe count.
+func (c *Collection) NumShards() int { return len(c.shards) }
+
+// forEachShard runs fn once per shard, in parallel when the collection has
+// more than one stripe. fn receives the shard index and must do its own
+// locking.
+func (c *Collection) forEachShard(fn func(i int, s *shard)) {
+	if len(c.shards) == 1 {
+		fn(0, c.shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(c.shards))
+	for i, s := range c.shards {
+		go func(i int, s *shard) {
+			defer wg.Done()
+			fn(i, s)
+		}(i, s)
+	}
+	wg.Wait()
 }
 
 // Name returns the collection's name.
@@ -37,68 +133,126 @@ func (c *Collection) Name() string { return c.name }
 
 // Count returns the number of stored documents.
 func (c *Collection) Count() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.docs)
+	total := 0
+	for _, s := range c.shards {
+		s.mu.RLock()
+		total += len(s.docs)
+		s.mu.RUnlock()
+	}
+	return total
 }
 
 // CreateHashIndex builds an equality index over field, indexing existing
 // documents. Indexing a field twice is a no-op.
 func (c *Collection) CreateHashIndex(field string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.hashIdx[field]; ok {
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	if _, ok := c.hashFields[field]; ok {
 		return nil
 	}
-	idx := make(map[string]map[string]struct{})
-	for id, d := range c.docs {
-		if v, ok := d.F[field]; ok {
-			key, err := indexKey(v)
-			if err != nil {
-				return fmt.Errorf("docstore: indexing %s.%s: %w", c.name, field, err)
+	for i, s := range c.shards {
+		s.mu.Lock()
+		idx := make(map[string]map[string]struct{})
+		var err error
+		for id, d := range s.docs {
+			if v, ok := d.F[field]; ok {
+				key, kerr := indexKey(v)
+				if kerr != nil {
+					err = fmt.Errorf("docstore: indexing %s.%s: %w", c.name, field, kerr)
+					break
+				}
+				addToHash(idx, key, id)
 			}
-			addToHash(idx, key, id)
+		}
+		if err == nil {
+			s.hashIdx[field] = idx
+		}
+		s.mu.Unlock()
+		if err != nil {
+			c.dropIndexFragments(field, i, indexHash)
+			return err
 		}
 	}
-	c.hashIdx[field] = idx
+	c.hashFields[field] = struct{}{}
 	return nil
+}
+
+type indexKind uint8
+
+const (
+	indexHash indexKind = iota
+	indexOrdered
+)
+
+// dropIndexFragments removes the field's fragment of one index kind from
+// shards [0, upto) — the rollback path when index creation fails partway.
+// Only the kind being created is dropped: the same field may legitimately
+// carry the other kind from an earlier successful build.
+func (c *Collection) dropIndexFragments(field string, upto int, kind indexKind) {
+	for _, s := range c.shards[:upto] {
+		s.mu.Lock()
+		if kind == indexHash {
+			delete(s.hashIdx, field)
+		} else {
+			delete(s.ordIdx, field)
+		}
+		s.mu.Unlock()
+	}
 }
 
 // CreateOrderedIndex builds a range index over a numeric field.
 func (c *Collection) CreateOrderedIndex(field string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.ordIdx[field]; ok {
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	if _, ok := c.ordFields[field]; ok {
 		return nil
 	}
-	var entries []ordEntry
-	for id, d := range c.docs {
-		if v, ok := d.F[field]; ok {
-			f, ok := asFloat(v)
-			if !ok {
-				return fmt.Errorf("docstore: ordered index %s.%s: non-numeric value %T", c.name, field, v)
+	for i, s := range c.shards {
+		s.mu.Lock()
+		var entries []ordEntry
+		var err error
+		for id, d := range s.docs {
+			if v, ok := d.F[field]; ok {
+				f, ok := asFloat(v)
+				if !ok {
+					err = fmt.Errorf("docstore: ordered index %s.%s: non-numeric value %T", c.name, field, v)
+					break
+				}
+				entries = append(entries, ordEntry{key: f, id: id})
 			}
-			entries = append(entries, ordEntry{key: f, id: id})
+		}
+		if err == nil {
+			sortOrd(entries)
+			s.ordIdx[field] = entries
+		}
+		s.mu.Unlock()
+		if err != nil {
+			c.dropIndexFragments(field, i, indexOrdered)
+			return err
 		}
 	}
-	sortOrd(entries)
-	c.ordIdx[field] = entries
+	c.ordFields[field] = struct{}{}
 	return nil
 }
 
 // Indexes lists indexed fields (hash and ordered).
 func (c *Collection) Indexes() (hash, ordered []string) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	for f := range c.hashIdx {
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	for f := range c.hashFields {
 		hash = append(hash, f)
 	}
-	for f := range c.ordIdx {
+	for f := range c.ordFields {
 		ordered = append(ordered, f)
 	}
 	sort.Strings(hash)
 	sort.Strings(ordered)
 	return
+}
+
+// genID reserves the next sequential document ID.
+func (c *Collection) genID() string {
+	return fmt.Sprintf("%s-%08d", c.name, c.nextID.Add(1))
 }
 
 // Insert stores a document. If id is empty a sequential one is assigned.
@@ -109,28 +263,34 @@ func (c *Collection) Insert(id string, f Fields) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if id == "" {
-		c.nextID++
-		id = fmt.Sprintf("%s-%08d", c.name, c.nextID)
+		id = c.genID()
 	}
-	if _, exists := c.docs[id]; exists {
+	s := c.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.docs[id]; exists {
 		return "", fmt.Errorf("docstore: duplicate id %q in collection %q", id, c.name)
 	}
 	d := &Doc{ID: id, F: nf}
-	c.docs[id] = d
-	if err := c.indexDocLocked(d); err != nil {
-		delete(c.docs, id)
+	s.docs[id] = d
+	if err := s.indexDocLocked(c.name, d); err != nil {
+		s.unindexDocLocked(d)
+		delete(s.docs, id)
 		return "", err
 	}
 	return id, nil
 }
 
 // InsertMany stores a batch of documents under generated IDs, returning
-// them in order. It acquires the write lock once for the whole batch,
-// which is the paper's "parallel writes during the data update phase"
-// fast path for bulk label ingestion.
+// them in order. Documents are grouped by shard and the groups inserted in
+// parallel, one lock acquisition per touched shard — the paper's "parallel
+// writes during the data update phase" fast path for bulk label ingestion.
+// On error the whole batch is rolled back, so the end state holds either
+// every document or none; this is not snapshot isolation, though —
+// concurrent readers may briefly observe part of a batch that is then
+// rolled back, since shard locks are released before the cross-shard
+// error check.
 func (c *Collection) InsertMany(fs []Fields) ([]string, error) {
 	norm := make([]Fields, len(fs))
 	for i, f := range fs {
@@ -140,29 +300,77 @@ func (c *Collection) InsertMany(fs []Fields) ([]string, error) {
 		}
 		norm[i] = nf
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	ids := make([]string, len(norm))
+	groups := make(map[*shard][]*Doc, len(c.shards))
 	for i, nf := range norm {
-		c.nextID++
-		id := fmt.Sprintf("%s-%08d", c.name, c.nextID)
-		d := &Doc{ID: id, F: nf}
-		c.docs[id] = d
-		if err := c.indexDocLocked(d); err != nil {
-			// Roll back this batch item and stop; earlier items remain.
-			delete(c.docs, id)
-			return ids[:i], err
-		}
+		id := c.genID()
 		ids[i] = id
+		s := c.shardFor(id)
+		groups[s] = append(groups[s], &Doc{ID: id, F: nf})
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     []*shard // shards fully inserted, for rollback
+	)
+	var wg sync.WaitGroup
+	for s, docs := range groups {
+		wg.Add(1)
+		go func(s *shard, docs []*Doc) {
+			defer wg.Done()
+			s.mu.Lock()
+			var err error
+			var inserted []*Doc
+			for _, d := range docs {
+				s.docs[d.ID] = d
+				if err = s.indexDocLocked(c.name, d); err != nil {
+					s.unindexDocLocked(d)
+					delete(s.docs, d.ID)
+					break
+				}
+				inserted = append(inserted, d)
+			}
+			if err != nil {
+				// Roll back this shard's portion of the batch.
+				for _, d := range inserted {
+					s.unindexDocLocked(d)
+					delete(s.docs, d.ID)
+				}
+			}
+			s.mu.Unlock()
+			mu.Lock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				done = append(done, s)
+			}
+			mu.Unlock()
+		}(s, docs)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		for _, s := range done {
+			s.mu.Lock()
+			for _, d := range groups[s] {
+				s.unindexDocLocked(d)
+				delete(s.docs, d.ID)
+			}
+			s.mu.Unlock()
+		}
+		return nil, firstErr
 	}
 	return ids, nil
 }
 
 // Get returns a copy of the document with the given ID.
 func (c *Collection) Get(id string) (*Doc, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	d, ok := c.docs[id]
+	s := c.shardFor(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
 	if !ok {
 		return nil, fmt.Errorf("docstore: id %q not found in collection %q", id, c.name)
 	}
@@ -170,19 +378,51 @@ func (c *Collection) Get(id string) (*Doc, error) {
 }
 
 // GetMany returns copies of the documents with the given IDs, in order.
-// Missing IDs produce an error naming the first absent one.
+// Missing IDs produce an error naming the first absent one. IDs are
+// fetched shard-by-shard, so the result is not a single atomic snapshot
+// under concurrent writers.
 func (c *Collection) GetMany(ids []string) ([]*Doc, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	out := make([]*Doc, len(ids))
-	for i, id := range ids {
-		d, ok := c.docs[id]
-		if !ok {
-			return nil, fmt.Errorf("docstore: id %q not found in collection %q", id, c.name)
+	missing := -1
+	c.eachShardGroup(ids, func(s *shard, positions []int) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		for _, i := range positions {
+			d, ok := s.docs[ids[i]]
+			if !ok {
+				if missing < 0 || i < missing {
+					missing = i
+				}
+				continue
+			}
+			out[i] = &Doc{ID: d.ID, F: cloneFields(d.F)}
 		}
-		out[i] = &Doc{ID: d.ID, F: cloneFields(d.F)}
+	})
+	if missing >= 0 {
+		return nil, fmt.Errorf("docstore: id %q not found in collection %q", ids[missing], c.name)
 	}
 	return out, nil
+}
+
+// eachShardGroup groups input positions by owning shard and runs fn once
+// per touched shard, sequentially (callers hold no locks; fn locks).
+func (c *Collection) eachShardGroup(ids []string, fn func(s *shard, positions []int)) {
+	if len(c.shards) == 1 {
+		positions := make([]int, len(ids))
+		for i := range ids {
+			positions[i] = i
+		}
+		fn(c.shards[0], positions)
+		return
+	}
+	groups := make(map[*shard][]int)
+	for i, id := range ids {
+		s := c.shardFor(id)
+		groups[s] = append(groups[s], i)
+	}
+	for s, positions := range groups {
+		fn(s, positions)
+	}
 }
 
 // Update merges fields into an existing document (set semantics), updating
@@ -192,29 +432,31 @@ func (c *Collection) Update(id string, f Fields) error {
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	d, ok := c.docs[id]
+	s := c.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.docs[id]
 	if !ok {
 		return fmt.Errorf("docstore: id %q not found in collection %q", id, c.name)
 	}
-	c.unindexDocLocked(d)
+	s.unindexDocLocked(d)
 	for k, v := range nf {
 		d.F[k] = v
 	}
-	return c.indexDocLocked(d)
+	return s.indexDocLocked(c.name, d)
 }
 
 // Delete removes a document.
 func (c *Collection) Delete(id string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	d, ok := c.docs[id]
+	s := c.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.docs[id]
 	if !ok {
 		return fmt.Errorf("docstore: id %q not found in collection %q", id, c.name)
 	}
-	c.unindexDocLocked(d)
-	delete(c.docs, id)
+	s.unindexDocLocked(d)
+	delete(s.docs, id)
 	return nil
 }
 
@@ -229,69 +471,103 @@ func (c *Collection) Find(q Query) ([]*Doc, error) {
 	if len(q.Project) == 0 {
 		return c.GetMany(ids)
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	out := make([]*Doc, len(ids))
-	for i, id := range ids {
-		d, ok := c.docs[id]
-		if !ok {
-			return nil, fmt.Errorf("docstore: id %q not found in collection %q", id, c.name)
-		}
-		f := make(Fields, len(q.Project))
-		for _, field := range q.Project {
-			if v, ok := d.F[field]; ok {
-				f[field] = v
+	missing := -1
+	c.eachShardGroup(ids, func(s *shard, positions []int) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		for _, i := range positions {
+			d, ok := s.docs[ids[i]]
+			if !ok {
+				if missing < 0 || i < missing {
+					missing = i
+				}
+				continue
 			}
+			f := make(Fields, len(q.Project))
+			for _, field := range q.Project {
+				if v, ok := d.F[field]; ok {
+					f[field] = v
+				}
+			}
+			out[i] = &Doc{ID: d.ID, F: f}
 		}
-		out[i] = &Doc{ID: d.ID, F: f}
+	})
+	if missing >= 0 {
+		return nil, fmt.Errorf("docstore: id %q not found in collection %q", ids[missing], c.name)
 	}
 	return out, nil
 }
 
-// FindIDs returns the IDs of matching documents in deterministic order.
-func (c *Collection) FindIDs(q Query) ([]string, error) {
-	c.mu.RLock()
-	candidates, rest := c.candidateIDsLocked(q)
-	var matched []string
-	for _, id := range candidates {
-		d := c.docs[id]
-		if d == nil {
-			continue
-		}
-		ok := true
-		for _, f := range rest {
-			if !f.matches(d) {
-				ok = false
-				break
+// shardMatch is one shard's contribution to a query: matched IDs plus, when
+// the query sorts by a field, the sort-key value captured under the shard
+// lock so the global merge needs no re-locking.
+type shardMatch struct {
+	ids  []string
+	keys []any
+}
+
+// scanShards evaluates the query's filters on every shard in parallel and
+// returns the per-shard matches (unsorted, unpaginated).
+func (c *Collection) scanShards(q Query) []shardMatch {
+	results := make([]shardMatch, len(c.shards))
+	c.forEachShard(func(i int, s *shard) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		candidates, rest := s.candidateIDsLocked(q)
+		var m shardMatch
+		for _, id := range candidates {
+			d := s.docs[id]
+			if d == nil {
+				continue
 			}
-		}
-		if ok {
-			matched = append(matched, id)
-		}
-	}
-	// Ordering: by sort field if given, else by ID.
-	if q.SortBy != "" {
-		docs := c.docs
-		sort.SliceStable(matched, func(i, j int) bool {
-			vi, vj := docs[matched[i]].F[q.SortBy], docs[matched[j]].F[q.SortBy]
-			cmp, ok := compareValues(vi, vj)
+			ok := true
+			for _, f := range rest {
+				if !f.matches(d) {
+					ok = false
+					break
+				}
+			}
 			if !ok {
-				return matched[i] < matched[j]
+				continue
 			}
-			if q.Desc {
-				return cmp > 0
+			m.ids = append(m.ids, id)
+			if q.SortBy != "" {
+				m.keys = append(m.keys, d.F[q.SortBy])
 			}
-			return cmp < 0
-		})
-	} else {
+		}
+		results[i] = m
+	})
+	return results
+}
+
+// FindIDs returns the IDs of matching documents in deterministic order:
+// by the sort field (ties broken by ID) when SortBy is set, else by ID.
+func (c *Collection) FindIDs(q Query) ([]string, error) {
+	parts := c.scanShards(q)
+	total := 0
+	for _, p := range parts {
+		total += len(p.ids)
+	}
+	matched := make([]string, 0, total)
+	if q.SortBy == "" {
+		for _, p := range parts {
+			matched = append(matched, p.ids...)
+		}
 		sortIDs(matched)
 		if q.Desc {
 			for i, j := 0, len(matched)-1; i < j; i, j = i+1, j-1 {
 				matched[i], matched[j] = matched[j], matched[i]
 			}
 		}
+	} else {
+		keys := make([]any, 0, total)
+		for _, p := range parts {
+			matched = append(matched, p.ids...)
+			keys = append(keys, p.keys...)
+		}
+		sort.Sort(&sortByKey{ids: matched, keys: keys, desc: q.Desc})
 	}
-	c.mu.RUnlock()
 
 	if q.Offset > 0 {
 		if q.Offset >= len(matched) {
@@ -305,12 +581,43 @@ func (c *Collection) FindIDs(q Query) ([]string, error) {
 	return matched, nil
 }
 
-// CountWhere returns how many documents match the query.
+// sortByKey orders IDs by their captured sort-key values, breaking ties
+// (and incomparable pairs) by ID so results are deterministic across runs
+// and shard layouts.
+type sortByKey struct {
+	ids  []string
+	keys []any
+	desc bool
+}
+
+func (s *sortByKey) Len() int { return len(s.ids) }
+func (s *sortByKey) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+func (s *sortByKey) Less(i, j int) bool {
+	cmp, ok := compareValues(s.keys[i], s.keys[j])
+	if !ok || cmp == 0 {
+		return s.ids[i] < s.ids[j]
+	}
+	if s.desc {
+		return cmp > 0
+	}
+	return cmp < 0
+}
+
+// CountWhere returns how many documents match the query. It counts
+// per-shard in parallel with no global sort or ID materialization.
 func (c *Collection) CountWhere(q Query) (int, error) {
 	q.Limit = 0
 	q.Offset = 0
-	ids, err := c.FindIDs(q)
-	return len(ids), err
+	q.SortBy = ""
+	parts := c.scanShards(q)
+	n := 0
+	for _, p := range parts {
+		n += len(p.ids)
+	}
+	return n, nil
 }
 
 // SampleIDs returns up to n document IDs drawn uniformly without
@@ -334,21 +641,26 @@ func (c *Collection) SampleIDs(q Query, n int, seed int64) ([]string, error) {
 
 // AllIDs returns every document ID in sorted order.
 func (c *Collection) AllIDs() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	ids := make([]string, 0, len(c.docs))
-	for id := range c.docs {
-		ids = append(ids, id)
+	var ids []string
+	for _, s := range c.shards {
+		s.mu.RLock()
+		for id := range s.docs {
+			ids = append(ids, id)
+		}
+		s.mu.RUnlock()
 	}
 	sortIDs(ids)
 	return ids
 }
 
-// candidateIDsLocked picks the cheapest access path for the query: the
-// smallest matching hash-index bucket, an ordered-index range scan, or a
-// full collection scan. It returns candidate IDs plus the filters that
-// still need evaluation. Caller holds at least the read lock.
-func (c *Collection) candidateIDsLocked(q Query) ([]string, []Filter) {
+// candidateIDsLocked picks the cheapest access path for the query within
+// one shard: the smallest matching hash-index bucket, an ordered-index
+// range scan, or a full shard scan. It returns candidate IDs plus the
+// filters that still need evaluation. Caller holds at least the shard's
+// read lock. Different shards may pick different access paths for the same
+// query; correctness only requires that each shard's candidates cover its
+// matches.
+func (s *shard) candidateIDsLocked(q Query) ([]string, []Filter) {
 	bestSize := -1
 	bestFilter := -1
 	var bestIDs []string
@@ -358,7 +670,7 @@ func (c *Collection) candidateIDsLocked(q Query) ([]string, []Filter) {
 		if f.Op != OpEq {
 			continue
 		}
-		idx, ok := c.hashIdx[f.Field]
+		idx, ok := s.hashIdx[f.Field]
 		if !ok {
 			continue
 		}
@@ -388,7 +700,7 @@ func (c *Collection) candidateIDsLocked(q Query) ([]string, []Filter) {
 		if f.Op != OpLt && f.Op != OpLte && f.Op != OpGt && f.Op != OpGte {
 			continue
 		}
-		entries, ok := c.ordIdx[f.Field]
+		entries, ok := s.ordIdx[f.Field]
 		if !ok {
 			continue
 		}
@@ -425,49 +737,51 @@ func (c *Collection) candidateIDsLocked(q Query) ([]string, []Filter) {
 		return ids, rest
 	}
 
-	// Full scan.
-	ids := make([]string, 0, len(c.docs))
-	for id := range c.docs {
+	// Full shard scan.
+	ids := make([]string, 0, len(s.docs))
+	for id := range s.docs {
 		ids = append(ids, id)
 	}
 	return ids, q.Filters
 }
 
-// indexDocLocked adds the document to every index covering its fields.
-func (c *Collection) indexDocLocked(d *Doc) error {
-	for field, idx := range c.hashIdx {
+// indexDocLocked adds the document to every index fragment covering its
+// fields. Caller holds the shard's write lock.
+func (s *shard) indexDocLocked(collection string, d *Doc) error {
+	for field, idx := range s.hashIdx {
 		v, ok := d.F[field]
 		if !ok {
 			continue
 		}
 		key, err := indexKey(v)
 		if err != nil {
-			return fmt.Errorf("docstore: indexing %s.%s: %w", c.name, field, err)
+			return fmt.Errorf("docstore: indexing %s.%s: %w", collection, field, err)
 		}
 		addToHash(idx, key, d.ID)
 	}
-	for field := range c.ordIdx {
+	for field := range s.ordIdx {
 		v, ok := d.F[field]
 		if !ok {
 			continue
 		}
 		f, ok := asFloat(v)
 		if !ok {
-			return fmt.Errorf("docstore: ordered index %s.%s: non-numeric value %T", c.name, field, v)
+			return fmt.Errorf("docstore: ordered index %s.%s: non-numeric value %T", collection, field, v)
 		}
-		entries := c.ordIdx[field]
+		entries := s.ordIdx[field]
 		at := sort.Search(len(entries), func(j int) bool { return entries[j].key >= f })
 		entries = append(entries, ordEntry{})
 		copy(entries[at+1:], entries[at:])
 		entries[at] = ordEntry{key: f, id: d.ID}
-		c.ordIdx[field] = entries
+		s.ordIdx[field] = entries
 	}
 	return nil
 }
 
-// unindexDocLocked removes the document from every index.
-func (c *Collection) unindexDocLocked(d *Doc) {
-	for field, idx := range c.hashIdx {
+// unindexDocLocked removes the document from every index fragment. Caller
+// holds the shard's write lock.
+func (s *shard) unindexDocLocked(d *Doc) {
+	for field, idx := range s.hashIdx {
 		v, ok := d.F[field]
 		if !ok {
 			continue
@@ -483,7 +797,7 @@ func (c *Collection) unindexDocLocked(d *Doc) {
 			}
 		}
 	}
-	for field, entries := range c.ordIdx {
+	for field, entries := range s.ordIdx {
 		v, ok := d.F[field]
 		if !ok {
 			continue
@@ -495,7 +809,7 @@ func (c *Collection) unindexDocLocked(d *Doc) {
 		lo := sort.Search(len(entries), func(j int) bool { return entries[j].key >= f })
 		for i := lo; i < len(entries) && entries[i].key == f; i++ {
 			if entries[i].id == d.ID {
-				c.ordIdx[field] = append(entries[:i], entries[i+1:]...)
+				s.ordIdx[field] = append(entries[:i], entries[i+1:]...)
 				break
 			}
 		}

@@ -1,8 +1,16 @@
 package docstore
 
-// Wire protocol between Client and Server: each connection carries an
-// alternating stream of gob-encoded request/response pairs. One persistent
-// gob encoder/decoder pair per connection amortizes type descriptors.
+// Wire protocol between Client and Server: each connection carries a
+// stream of gob-encoded requests and responses. One persistent gob
+// encoder/decoder pair per connection amortizes type descriptors.
+//
+// Requests carry a connection-scoped sequence number and the server
+// echoes it back on the matching response. Because the server hands
+// decoded requests to a per-connection worker pool, responses may come
+// back in a different order than the requests were sent; clients MUST
+// match responses to requests by Seq rather than by position. A client
+// that pipelines several requests on one connection therefore no longer
+// pays head-of-line blocking for a slow query.
 
 type reqOp uint8
 
@@ -26,6 +34,7 @@ const (
 
 // request is the client→server message.
 type request struct {
+	Seq        uint64
 	Op         reqOp
 	Collection string
 	ID         string
@@ -38,8 +47,10 @@ type request struct {
 	Field      string
 }
 
-// response is the server→client message. Err is empty on success.
+// response is the server→client message. Err is empty on success. Seq
+// echoes the request's sequence number.
 type response struct {
+	Seq   uint64
 	Err   string
 	ID    string
 	IDs   []string

@@ -12,12 +12,22 @@ import (
 	"time"
 )
 
+// defaultConnWorkers is the per-connection request concurrency when
+// ServerConfig.ConnWorkers is zero.
+const defaultConnWorkers = 8
+
 // ServerConfig tunes a document-store server.
 type ServerConfig struct {
 	// Latency is an artificial per-request delay, used to emulate the
 	// paper's remote (100 GbE) MongoDB placement in benchmarks. Zero means
 	// no added delay.
 	Latency time.Duration
+	// ConnWorkers bounds how many requests from one connection are handled
+	// concurrently. Pipelined requests are dispatched to this per-connection
+	// worker pool and responses are matched by sequence number, so a slow
+	// Find does not head-of-line-block a fast Get behind it. Zero means
+	// defaultConnWorkers; 1 restores strictly sequential handling.
+	ConnWorkers int
 	// FaultRate, if positive, is the probability that the server abruptly
 	// drops a connection after serving a request — failure injection for
 	// client-resilience tests.
@@ -29,24 +39,30 @@ type ServerConfig struct {
 }
 
 // Server exposes a Store over TCP. Each accepted connection is served by
-// its own goroutine, so parallel clients read and write concurrently —
-// the store's collection locks are the only serialization point.
+// its own goroutine, and each connection's requests are dispatched to a
+// bounded worker pool, so parallel clients (and pipelined requests within
+// one connection) read and write concurrently — the store's shard locks
+// are the only serialization point.
 type Server struct {
 	store *Store
 	cfg   ServerConfig
 	lis   net.Listener
 
-	mu      sync.Mutex
-	conns   map[net.Conn]struct{}
-	closed  atomic.Bool
-	wg      sync.WaitGroup
-	served  atomic.Int64
-	faultMu sync.Mutex
-	faultRN *rand.Rand
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	peakConns int
+	closed    atomic.Bool
+	wg        sync.WaitGroup
+	served    atomic.Int64
+	faultMu   sync.Mutex
+	faultRN   *rand.Rand
 }
 
 // NewServer wraps store with a protocol server; call Serve to start.
 func NewServer(store *Store, cfg ServerConfig) *Server {
+	if cfg.ConnWorkers <= 0 {
+		cfg.ConnWorkers = defaultConnWorkers
+	}
 	return &Server{
 		store:   store,
 		cfg:     cfg,
@@ -71,6 +87,22 @@ func (s *Server) Listen(addr string) (string, error) {
 // Requests reports how many requests have been served.
 func (s *Server) Requests() int64 { return s.served.Load() }
 
+// OpenConns reports how many client connections are currently live.
+func (s *Server) OpenConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// PeakConns reports the highest number of simultaneously live client
+// connections seen since the server started — the observable a client
+// pool-size cap is asserted against.
+func (s *Server) PeakConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peakConns
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -85,15 +117,25 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[conn] = struct{}{}
+		if n := len(s.conns); n > s.peakConns {
+			s.peakConns = n
+		}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
 }
 
+// serveConn decodes requests off the connection and hands each to the
+// per-connection worker pool. The decode loop never waits on request
+// handling (only on pool admission), so up to ConnWorkers pipelined
+// requests run concurrently; responses carry the request's Seq and are
+// serialized onto the connection by a write mutex in completion order.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	var handlers sync.WaitGroup
 	defer func() {
+		handlers.Wait()
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -101,6 +143,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
+	var wmu sync.Mutex
+	pool := make(chan struct{}, s.cfg.ConnWorkers)
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
@@ -109,25 +153,38 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		if s.cfg.Latency > 0 {
-			time.Sleep(s.cfg.Latency)
-		}
-		resp := s.handle(&req)
-		s.served.Add(1)
-		if err := enc.Encode(resp); err != nil {
-			if s.cfg.Logger != nil {
-				s.cfg.Logger.Printf("docstore server: encode: %v", err)
+		pool <- struct{}{}
+		handlers.Add(1)
+		go func(req request) {
+			defer func() {
+				<-pool
+				handlers.Done()
+			}()
+			if s.cfg.Latency > 0 {
+				time.Sleep(s.cfg.Latency)
 			}
-			return
-		}
-		if s.cfg.FaultRate > 0 {
-			s.faultMu.Lock()
-			drop := s.faultRN.Float64() < s.cfg.FaultRate
-			s.faultMu.Unlock()
-			if drop {
-				return // abruptly close the connection
+			resp := s.handle(&req)
+			resp.Seq = req.Seq
+			s.served.Add(1)
+			wmu.Lock()
+			err := enc.Encode(resp)
+			wmu.Unlock()
+			if err != nil {
+				if s.cfg.Logger != nil {
+					s.cfg.Logger.Printf("docstore server: encode: %v", err)
+				}
+				conn.Close() // unblocks the decode loop
+				return
 			}
-		}
+			if s.cfg.FaultRate > 0 {
+				s.faultMu.Lock()
+				drop := s.faultRN.Float64() < s.cfg.FaultRate
+				s.faultMu.Unlock()
+				if drop {
+					conn.Close() // abruptly drop the connection
+				}
+			}
+		}(req)
 	}
 }
 

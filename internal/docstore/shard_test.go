@@ -1,0 +1,436 @@
+package docstore
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShardCountIsPowerOfTwo(t *testing.T) {
+	for _, want := range []struct{ ask, got int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		c := newCollectionShards("x", want.ask)
+		if c.NumShards() != want.got {
+			t.Fatalf("shards(%d) = %d, want %d", want.ask, c.NumShards(), want.got)
+		}
+	}
+	if n := newCollection("x").NumShards(); n&(n-1) != 0 || n < 1 {
+		t.Fatalf("default shard count %d is not a power of two", n)
+	}
+}
+
+// TestShardedMatchesSingleShard runs the same workload against a 1-shard
+// and an 8-shard collection and requires identical query results — the
+// stripe layout must be invisible to callers.
+func TestShardedMatchesSingleShard(t *testing.T) {
+	one := newCollectionShards("c", 1)
+	many := newCollectionShards("c", 8)
+	for _, c := range []*Collection{one, many} {
+		if err := c.CreateHashIndex("k"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CreateOrderedIndex("t"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			id := fmt.Sprintf("d%04d", i)
+			if _, err := c.Insert(id, Fields{"k": i % 7, "t": float64(i % 13), "v": i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 200; i += 9 {
+			if err := c.Delete(fmt.Sprintf("d%04d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 1; i < 200; i += 17 {
+			if i%9 == 0 {
+				continue // deleted above
+			}
+			if err := c.Update(fmt.Sprintf("d%04d", i), Fields{"k": 99}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	queries := []Query{
+		{},
+		{Filters: []Filter{Eq("k", 3)}},
+		{Filters: []Filter{Eq("k", 99)}},
+		{Filters: []Filter{Lte("t", 6)}},
+		{Filters: []Filter{Gt("t", 6), Eq("k", 2)}},
+		{SortBy: "t", Limit: 10, Offset: 5},
+		{SortBy: "t", Desc: true, Limit: 7},
+		{Filters: []Filter{In("k", 1, 4)}, SortBy: "v", Desc: true},
+	}
+	for _, q := range queries {
+		a, err := one.FindIDs(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := many.FindIDs(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(a, b) {
+			t.Fatalf("query %+v: 1-shard %v vs 8-shard %v", q, a, b)
+		}
+		na, _ := one.CountWhere(q)
+		nb, _ := many.CountWhere(q)
+		if na != nb {
+			t.Fatalf("query %+v: counts %d vs %d", q, na, nb)
+		}
+	}
+	if !equalIDs(one.AllIDs(), many.AllIDs()) {
+		t.Fatal("AllIDs differ between shard layouts")
+	}
+}
+
+// TestShardedConcurrentMutations drives concurrent Insert/Update/Delete/
+// Find/Count across shards; run under -race this is the striped-locking
+// soundness check.
+func TestShardedConcurrentMutations(t *testing.T) {
+	c := newCollectionShards("c", 8)
+	if err := c.CreateHashIndex("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateOrderedIndex("t"); err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 60
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*4)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var mine []string
+			for i := 0; i < perWriter; i++ {
+				id, err := c.Insert("", Fields{"k": i % 5, "t": float64(i), "w": w})
+				if err != nil {
+					errs <- err
+					return
+				}
+				mine = append(mine, id)
+				if i%3 == 0 {
+					if err := c.Update(id, Fields{"k": (i + 1) % 5}); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if i%7 == 0 && len(mine) > 1 {
+					if err := c.Delete(mine[0]); err != nil {
+						errs <- err
+						return
+					}
+					mine = mine[1:]
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 80; i++ {
+				if _, err := c.FindIDs(Query{Filters: []Filter{Eq("k", i % 5)}}); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.CountWhere(Query{Filters: []Filter{Gte("t", float64(i % 20))}}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Final state: indexes agree with a brute-force scan.
+	for k := 0; k < 5; k++ {
+		indexed, err := c.FindIDs(Query{Filters: []Filter{Eq("k", k)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := bruteFind(c, "k", int64(k))
+		if !equalIDs(indexed, brute) {
+			t.Fatalf("k=%d: index disagrees with scan after concurrent ops", k)
+		}
+	}
+}
+
+// TestShardedSaveLoadRoundTrip snapshots a multi-shard store and reloads
+// it, verifying docs, indexes, and the ID sequence survive regardless of
+// the in-memory stripe layout.
+func TestShardedSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.gob.gz")
+	s := NewStore()
+	c := s.Collection("peaks")
+	if c.NumShards() < 1 {
+		t.Fatal("collection has no shards")
+	}
+	if err := c.CreateHashIndex("cluster"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateOrderedIndex("t"); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Fields, 120)
+	for i := range batch {
+		batch[i] = Fields{"cluster": i % 6, "t": float64(i)}
+	}
+	if _, err := c.InsertMany(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// The temp file must not linger after a successful save.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("stale temp snapshot left behind: %v", err)
+	}
+
+	s2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := s2.Collection("peaks")
+	if c2.Count() != 120 {
+		t.Fatalf("reloaded %d docs, want 120", c2.Count())
+	}
+	if !equalIDs(c.AllIDs(), c2.AllIDs()) {
+		t.Fatal("IDs differ after reload")
+	}
+	for k := 0; k < 6; k++ {
+		q := Query{Filters: []Filter{Eq("cluster", k)}}
+		a, _ := c.FindIDs(q)
+		b, _ := c2.FindIDs(q)
+		if !equalIDs(a, b) {
+			t.Fatalf("cluster %d differs after reload", k)
+		}
+	}
+	// ID sequence continues without collision.
+	id, err := c2.Insert("", Fields{"cluster": 0, "t": 999.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Get(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadRejectsPartialWrite simulates a crash mid-copy: a truncated
+// snapshot file must fail to load rather than yield a silently incomplete
+// store.
+func TestLoadRejectsPartialWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.gob.gz")
+	s := NewStore()
+	c := s.Collection("x")
+	batch := make([]Fields, 500)
+	for i := range batch {
+		batch[i] = Fields{"v": i, "pad": make([]byte, 512)}
+	}
+	if _, err := c.InsertMany(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.25, 0.6, 0.95} {
+		cut := int(float64(len(raw)) * frac)
+		trunc := filepath.Join(dir, fmt.Sprintf("trunc-%d", cut))
+		if err := os.WriteFile(trunc, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(trunc); err == nil {
+			t.Fatalf("Load accepted a snapshot truncated to %d/%d bytes", cut, len(raw))
+		}
+	}
+}
+
+// TestClientPoolIsHardCap is the regression test for the unbounded-dial
+// bug: M goroutines hammering one server through a poolSize-connection
+// client must never open more than poolSize simultaneous TCP connections.
+func TestClientPoolIsHardCap(t *testing.T) {
+	const poolSize, workers, perWorker = 4, 32, 25
+	srv, addr := startTestServer(t, ServerConfig{})
+	cl, err := Dial(addr, poolSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				if _, err := cl.Insert("c", id, Fields{"w": w}); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := cl.Get("c", id); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if peak := srv.PeakConns(); peak > poolSize {
+		t.Fatalf("server saw %d simultaneous connections; pool cap is %d", peak, poolSize)
+	}
+	n, err := cl.Count("c", Query{})
+	if err != nil || n != workers*perWorker {
+		t.Fatalf("count = %d err=%v", n, err)
+	}
+}
+
+// TestServerHandlesPipelinedRequestsConcurrently speaks the wire protocol
+// directly: K requests pipelined on one connection against a server with
+// per-request latency must complete in roughly one latency period (worker
+// pool), not K of them (sequential), and every response's Seq must match a
+// request.
+func TestServerHandlesPipelinedRequestsConcurrently(t *testing.T) {
+	const latency = 100 * time.Millisecond
+	const k = 4
+	_, addr := startTestServer(t, ServerConfig{Latency: latency, ConnWorkers: k})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+
+	start := time.Now()
+	for i := 1; i <= k; i++ {
+		if err := enc.Encode(&request{Seq: uint64(i), Op: opPing}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < k; i++ {
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Err != "" {
+			t.Fatalf("ping %d: %s", resp.Seq, resp.Err)
+		}
+		if resp.Seq < 1 || resp.Seq > k || seen[resp.Seq] {
+			t.Fatalf("bad or duplicate response seq %d", resp.Seq)
+		}
+		seen[resp.Seq] = true
+	}
+	elapsed := time.Since(start)
+	if sequential := time.Duration(k) * latency; elapsed >= sequential-latency/2 {
+		t.Fatalf("pipelined requests took %v; sequential handling would take %v", elapsed, sequential)
+	}
+}
+
+// TestFindIDsDeterministicSortTies: equal sort keys are ordered by ID, so
+// results are reproducible across shard layouts and runs.
+func TestFindIDsDeterministicSortTies(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		c := newCollectionShards("c", shards)
+		for i := 0; i < 30; i++ {
+			if _, err := c.Insert(fmt.Sprintf("d%02d", i), Fields{"t": float64(i % 3)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		first, err := c.FindIDs(Query{SortBy: "t"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			again, err := c.FindIDs(Query{SortBy: "t"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalIDs(first, again) {
+				t.Fatalf("shards=%d: sort with ties is not deterministic", shards)
+			}
+		}
+		// Ties must be ID-ascending within each key group.
+		for i := 1; i < len(first); i++ {
+			a, _ := c.Get(first[i-1])
+			b, _ := c.Get(first[i])
+			if a.F["t"] == b.F["t"] && first[i-1] >= first[i] {
+				t.Fatalf("shards=%d: tie at %d not ID-ordered", shards, i)
+			}
+		}
+	}
+}
+
+// TestFailedOrderedIndexKeepsHashIndex: when an ordered-index build on a
+// field fails partway, the rollback must not destroy a previously built
+// hash index on the same field.
+func TestFailedOrderedIndexKeepsHashIndex(t *testing.T) {
+	c := newCollectionShards("c", 4)
+	if err := c.CreateHashIndex("t"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := c.Insert("", Fields{"t": "label"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CreateOrderedIndex("t"); err == nil {
+		t.Fatal("expected ordered index over strings to fail")
+	}
+	hash, ordered := c.Indexes()
+	if len(hash) != 1 || hash[0] != "t" || len(ordered) != 0 {
+		t.Fatalf("indexes after failed build: hash=%v ordered=%v", hash, ordered)
+	}
+	ids, err := c.FindIDs(Query{Filters: []Filter{Eq("t", "label")}})
+	if err != nil || len(ids) != 20 {
+		t.Fatalf("hash index broken after failed ordered build: %d ids, err=%v", len(ids), err)
+	}
+}
+
+// TestInsertManyRollsBackAtomically: a batch with an unindexable value
+// stores nothing.
+func TestInsertManyRollsBackAtomically(t *testing.T) {
+	c := newCollectionShards("c", 4)
+	if err := c.CreateOrderedIndex("t"); err != nil {
+		t.Fatal(err)
+	}
+	batch := []Fields{
+		{"t": 1.0}, {"t": 2.0}, {"t": "not numeric"}, {"t": 4.0},
+	}
+	if _, err := c.InsertMany(batch); err == nil {
+		t.Fatal("expected error for non-numeric ordered-index value")
+	}
+	if n := c.Count(); n != 0 {
+		t.Fatalf("failed batch left %d documents behind", n)
+	}
+	// The collection remains usable and the index consistent.
+	if _, err := c.Insert("", Fields{"t": 9.0}); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := c.FindIDs(Query{Filters: []Filter{Gte("t", 0)}})
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("ids=%v err=%v", ids, err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"compress/gzip"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"sync"
@@ -58,7 +59,9 @@ func (s *Store) Names() []string {
 	return names
 }
 
-// snapshot is the persisted form of a store.
+// snapshot is the persisted form of a store. The on-disk layout is
+// shard-agnostic: each collection serializes as one ID-sorted document
+// list, so snapshots survive changes to the in-memory stripe count.
 type snapshot struct {
 	Collections map[string]collectionSnapshot
 }
@@ -71,44 +74,68 @@ type collectionSnapshot struct {
 }
 
 // Save writes a gzip-compressed snapshot of every collection to path.
-// It holds read locks collection-by-collection, so concurrent writers are
-// only briefly blocked.
+// It holds read locks shard-by-shard, so concurrent writers are only
+// briefly blocked. The snapshot is written to a temporary sibling file,
+// synced, and atomically renamed into place: a crash mid-save can never
+// truncate or corrupt an existing snapshot at path.
 func (s *Store) Save(path string) error {
 	snap := snapshot{Collections: make(map[string]collectionSnapshot)}
 	for _, name := range s.Names() {
 		c := s.Collection(name)
-		c.mu.RLock()
-		cs := collectionSnapshot{NextID: c.nextID}
-		for _, d := range c.docs {
-			cs.Docs = append(cs.Docs, Doc{ID: d.ID, F: cloneFields(d.F)})
+		var cs collectionSnapshot
+		for _, sh := range c.shards {
+			sh.mu.RLock()
+			for _, d := range sh.docs {
+				cs.Docs = append(cs.Docs, Doc{ID: d.ID, F: cloneFields(d.F)})
+			}
+			sh.mu.RUnlock()
 		}
-		for f := range c.hashIdx {
-			cs.HashIdx = append(cs.HashIdx, f)
-		}
-		for f := range c.ordIdx {
-			cs.OrdIdx = append(cs.OrdIdx, f)
-		}
-		c.mu.RUnlock()
+		// Read the ID sequence after the shard scan: a concurrent Insert
+		// can commit a doc with sequence N+1 while we scan, and the saved
+		// NextID must be ≥ any captured doc's sequence number or reloads
+		// would re-issue it. Over-reserving (counting an insert we did not
+		// capture) is harmless.
+		cs.NextID = c.nextID.Load()
+		cs.HashIdx, cs.OrdIdx = c.Indexes()
 		sort.Slice(cs.Docs, func(i, j int) bool { return cs.Docs[i].ID < cs.Docs[j].ID })
 		snap.Collections[name] = cs
 	}
 
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("docstore: save: %w", err)
 	}
-	defer f.Close()
+	// On any failure, remove the partial temp file; the snapshot at path
+	// (if one exists) stays untouched.
+	fail := func(stage string, err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("docstore: save %s: %w", stage, err)
+	}
 	zw := gzip.NewWriter(f)
 	if err := gob.NewEncoder(zw).Encode(snap); err != nil {
-		return fmt.Errorf("docstore: save encode: %w", err)
+		return fail("encode", err)
 	}
 	if err := zw.Close(); err != nil {
-		return fmt.Errorf("docstore: save close: %w", err)
+		return fail("close", err)
 	}
-	return f.Sync()
+	if err := f.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	if err := f.Close(); err != nil {
+		return fail("flush", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("docstore: save rename: %w", err)
+	}
+	return nil
 }
 
 // Load reads a snapshot written by Save, replacing the store's contents.
+// Truncated or corrupt snapshots (e.g. from a partial copy) are rejected
+// with an error rather than yielding a silently incomplete store.
 func Load(path string) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -122,6 +149,11 @@ func Load(path string) (*Store, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(zr).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("docstore: load decode: %w", err)
+	}
+	// A well-formed gob stream can still sit in a truncated gzip member;
+	// draining to EOF forces the checksum verification.
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return nil, fmt.Errorf("docstore: load verify: %w", err)
 	}
 	s := NewStore()
 	for name, cs := range snap.Collections {
@@ -141,9 +173,7 @@ func Load(path string) (*Store, error) {
 				return nil, fmt.Errorf("docstore: load doc %q: %w", d.ID, err)
 			}
 		}
-		c.mu.Lock()
-		c.nextID = cs.NextID
-		c.mu.Unlock()
+		c.nextID.Store(cs.NextID)
 	}
 	return s, nil
 }

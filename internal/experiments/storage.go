@@ -39,8 +39,13 @@ type StorageConfig struct {
 	// ServerLatency adds per-request delay on the docstore server,
 	// emulating the remote (100GbE) placement. Default 150µs.
 	ServerLatency time.Duration
-	Dir           string // scratch directory for the filestore ("NFS")
-	Seed          int64
+	// PoolSize caps the docstore client's connection pool. The cap is
+	// hard: loader workers beyond it block until a connection frees up,
+	// which is itself part of the paper's client-count ablation. Default:
+	// max worker count + 2.
+	PoolSize int
+	Dir      string // scratch directory for the filestore ("NFS")
+	Seed     int64
 }
 
 func (c *StorageConfig) defaults() {
@@ -150,13 +155,17 @@ func StorageSweep(cfg StorageConfig) (*StorageResult, error) {
 	}
 	defer srv.Close()
 
-	maxWorkers := cfg.FixedWorkers
-	for _, w := range cfg.Workers {
-		if w > maxWorkers {
-			maxWorkers = w
+	pool := cfg.PoolSize
+	if pool <= 0 {
+		maxWorkers := cfg.FixedWorkers
+		for _, w := range cfg.Workers {
+			if w > maxWorkers {
+				maxWorkers = w
+			}
 		}
+		pool = maxWorkers + 2
 	}
-	client, err := docstore.Dial(addr, maxWorkers+2)
+	client, err := docstore.Dial(addr, pool)
 	if err != nil {
 		return nil, err
 	}

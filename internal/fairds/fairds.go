@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"fairdms/internal/cluster"
 	"fairdms/internal/codec"
@@ -261,7 +262,12 @@ func (s *Service) Certainty(x *tensor.Tensor, threshold float64) (float64, error
 // distribution matches the input dataset's PDF: for each cluster, a number
 // of random labeled documents proportional to the input's occupancy
 // (paper §II-A, "Data Store"). This is the pseudo-labeling operation that
-// replaces expensive physics-based label computation.
+// replaces expensive physics-based label computation. Per-cluster sample
+// and fetch round trips run concurrently — the paper's "fetch using
+// multiple clients" (§III-D) applied to the lookup path, which overlaps
+// network latency when the store is remote and shard locks when it is
+// local. Results are assembled in cluster order, so output is
+// deterministic regardless of fetch completion order.
 func (s *Service) LookupLabeled(x *tensor.Tensor) ([]*codec.Sample, error) {
 	if err := s.requireClusters(); err != nil {
 		return nil, err
@@ -272,28 +278,48 @@ func (s *Service) LookupLabeled(x *tensor.Tensor) ([]*codec.Sample, error) {
 	}
 	want := x.Dim(0)
 	counts := apportion(pdf, want)
-	var out []*codec.Sample
+
+	perCluster := make([][]*codec.Sample, len(counts))
+	errs := make([]error, len(counts))
+	var wg sync.WaitGroup
 	for k, n := range counts {
 		if n == 0 {
 			continue
 		}
-		ids, err := s.store.SampleIDs(docstore.Query{
-			Filters: []docstore.Filter{docstore.Eq("cluster", k)},
-		}, n, s.cfg.Seed+int64(k))
-		if err != nil {
-			return nil, fmt.Errorf("fairds: sampling cluster %d: %w", k, err)
-		}
-		docs, err := s.store.GetMany(ids)
-		if err != nil {
-			return nil, fmt.Errorf("fairds: fetching cluster %d: %w", k, err)
-		}
-		for _, d := range docs {
-			smp, err := s.decodeDoc(d)
+		wg.Add(1)
+		go func(k, n int) {
+			defer wg.Done()
+			ids, err := s.store.SampleIDs(docstore.Query{
+				Filters: []docstore.Filter{docstore.Eq("cluster", k)},
+			}, n, s.cfg.Seed+int64(k))
 			if err != nil {
-				return nil, err
+				errs[k] = fmt.Errorf("fairds: sampling cluster %d: %w", k, err)
+				return
 			}
-			out = append(out, smp)
+			docs, err := s.store.GetMany(ids)
+			if err != nil {
+				errs[k] = fmt.Errorf("fairds: fetching cluster %d: %w", k, err)
+				return
+			}
+			samples := make([]*codec.Sample, 0, len(docs))
+			for _, d := range docs {
+				smp, err := s.decodeDoc(d)
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				samples = append(samples, smp)
+			}
+			perCluster[k] = samples
+		}(k, n)
+	}
+	wg.Wait()
+	var out []*codec.Sample
+	for k := range counts {
+		if errs[k] != nil {
+			return nil, errs[k]
 		}
+		out = append(out, perCluster[k]...)
 	}
 	if len(out) == 0 {
 		return nil, errors.New("fairds: no labeled historical data matches the input distribution")
