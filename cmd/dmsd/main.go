@@ -1,0 +1,162 @@
+// Command dmsd serves fairDMS — the FAIR Data Service and the FAIR Model
+// Service — over HTTP/JSON, the networked deployment of the paper's Fig. 5
+// architecture: training jobs at the HPC endpoint and monitors at the
+// facility call one daemon for PDF-matched labeled data and
+// closest-checkpoint recommendations.
+//
+// The daemon wires a docstore backend (in-process, or a remote dstore via
+// -store), a fairds.Service with a deterministic lazily-initialized
+// embedder (input width is learned from the first ingested batch, and the
+// clustering module is bootstrap-fitted on it), and a fairms.Zoo that can
+// be snapshot-loaded at startup and is snapshot-saved at exit.
+//
+// Usage:
+//
+//	dmsd [-addr host:port] [-store addr] [-collection name] [-zoo path]
+//	     [-k 8] [-embed-dim 8] [-embed-hidden 64] [-embed-scale 1]
+//	     [-seed 1] [-max-inflight 64] [-cache 128] [-v]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"io/fs"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"fairdms/internal/dmsapi"
+	"fairdms/internal/docstore"
+	"fairdms/internal/embed"
+	"fairdms/internal/fairds"
+	"fairdms/internal/fairms"
+	"fairdms/internal/tensor"
+)
+
+// lazyEmbedder defers constructing the embedding model until the first
+// batch arrives, because the input width is a property of the data (e.g.
+// 81 for 9×9 Bragg patches) and a daemon starts before seeing any. The
+// inner model is seeded deterministically, so two daemons configured alike
+// embed alike — which keeps stored embeddings comparable across restarts
+// as long as the store snapshot and the seed travel together.
+type lazyEmbedder struct {
+	seed        int64
+	hidden, dim int
+	scale       float64
+
+	mu    sync.Mutex
+	inner embed.Embedder
+}
+
+func (l *lazyEmbedder) Dim() int { return l.dim }
+
+func (l *lazyEmbedder) Embed(x *tensor.Tensor) *tensor.Tensor {
+	l.mu.Lock()
+	if l.inner == nil {
+		rng := rand.New(rand.NewSource(l.seed))
+		l.inner = embed.Scaled{
+			E:      embed.NewAutoencoder(rng, x.Dim(1), l.hidden, l.dim),
+			Factor: l.scale,
+		}
+		log.Printf("dmsd: embedder initialized for %d-feature inputs (dim %d)", x.Dim(1), l.dim)
+	}
+	e := l.inner
+	l.mu.Unlock()
+	return e.Embed(x)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7718", "listen address")
+	storeAddr := flag.String("store", "", "external dstore address (empty = in-process store)")
+	collection := flag.String("collection", "fairds", "docstore collection for labeled samples")
+	zooPath := flag.String("zoo", "", "zoo snapshot to load at start and save at exit")
+	k := flag.Int("k", 8, "cluster count for the bootstrap fit on the first ingest")
+	embedDim := flag.Int("embed-dim", 8, "embedding dimensionality")
+	embedHidden := flag.Int("embed-hidden", 64, "embedder hidden width")
+	embedScale := flag.Float64("embed-scale", 1, "input scale factor (e.g. 1/255 for 8-bit images)")
+	seed := flag.Int64("seed", 1, "determinism seed for embedder init and sampling")
+	maxInflight := flag.Int("max-inflight", 64, "in-flight request bound before 429 shedding (<0 = unlimited)")
+	cacheSize := flag.Int("cache", 128, "LRU capacity for hot recommend/PDF results (<0 = coalescing only)")
+	verbose := flag.Bool("v", false, "log request failures")
+	flag.Parse()
+
+	var backend fairds.DataStore
+	if *storeAddr != "" {
+		client, err := docstore.Dial(*storeAddr, 8)
+		if err != nil {
+			log.Fatalf("dmsd: dialing store: %v", err)
+		}
+		defer client.Close()
+		backend = fairds.RemoteCollection{Client: client, Name: *collection}
+		log.Printf("dmsd: using external store at %s (collection %q)", *storeAddr, *collection)
+	} else {
+		backend = docstore.NewStore().Collection(*collection)
+	}
+
+	ds, err := fairds.New(&lazyEmbedder{
+		seed: *seed, hidden: *embedHidden, dim: *embedDim, scale: *embedScale,
+	}, backend, fairds.Config{Seed: *seed})
+	if err != nil {
+		log.Fatalf("dmsd: building data service: %v", err)
+	}
+
+	zoo := fairms.NewZoo()
+	if *zooPath != "" {
+		// Only a missing file means "fresh start". Any other stat failure
+		// must abort: starting empty and then saving at exit would
+		// atomically replace a real snapshot we merely failed to see.
+		switch _, err := os.Stat(*zooPath); {
+		case err == nil:
+			zoo, err = fairms.LoadZoo(*zooPath)
+			if err != nil {
+				log.Fatalf("dmsd: loading zoo snapshot: %v", err)
+			}
+			log.Printf("dmsd: loaded zoo snapshot %s (%d models)", *zooPath, zoo.Len())
+		case errors.Is(err, fs.ErrNotExist):
+			log.Printf("dmsd: no zoo snapshot at %s, starting empty", *zooPath)
+		default:
+			log.Fatalf("dmsd: checking zoo snapshot: %v", err)
+		}
+	}
+
+	var logger *log.Logger
+	if *verbose {
+		logger = log.Default()
+	}
+	srv, err := dmsapi.NewServer(dmsapi.ServerConfig{
+		DS: ds, Zoo: zoo,
+		MaxInFlight: *maxInflight,
+		CacheSize:   *cacheSize,
+		BootstrapK:  *k,
+		Logger:      logger,
+	})
+	if err != nil {
+		log.Fatalf("dmsd: %v", err)
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("dmsd: listen: %v", err)
+	}
+	log.Printf("dmsd: serving on http://%s (max in-flight %d, cache %d)", bound, *maxInflight, *cacheSize)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("dmsd: shutting down after %d requests (%d shed)", srv.Requests(), srv.Shed())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("dmsd: shutdown: %v", err)
+	}
+	if *zooPath != "" {
+		if err := zoo.Save(*zooPath); err != nil {
+			log.Fatalf("dmsd: saving zoo snapshot: %v", err)
+		}
+		log.Printf("dmsd: zoo snapshot saved to %s (%d models)", *zooPath, zoo.Len())
+	}
+}

@@ -1,14 +1,20 @@
 // Command dstore serves a fairDMS document store over TCP — the deployment
 // unit that plays MongoDB's role in the paper's architecture. It optionally
-// loads a snapshot at startup and saves one on shutdown (SIGINT/SIGTERM).
+// loads a snapshot at startup, saves one on shutdown (SIGINT/SIGTERM), and
+// with -snapshot-interval also snapshots periodically in the background so
+// a crash loses at most one interval of writes instead of everything since
+// startup.
 //
 // Usage:
 //
-//	dstore [-addr host:port] [-snapshot path] [-latency 150us] [-v]
+//	dstore [-addr host:port] [-snapshot path] [-snapshot-interval 30s]
+//	       [-latency 150us] [-v]
 package main
 
 import (
+	"errors"
 	"flag"
+	"io/fs"
 	"log"
 	"os"
 	"os/signal"
@@ -21,20 +27,32 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7717", "listen address")
 	snapshot := flag.String("snapshot", "", "snapshot file to load at start and save at exit")
+	interval := flag.Duration("snapshot-interval", 0, "also snapshot periodically (0 = only at exit; needs -snapshot)")
 	latency := flag.Duration("latency", 0, "artificial per-request latency (emulates a remote link)")
 	verbose := flag.Bool("v", false, "log request errors")
 	flag.Parse()
 
 	store := docstore.NewStore()
 	if *snapshot != "" {
-		if _, err := os.Stat(*snapshot); err == nil {
+		// Only a missing file means "fresh start": any other stat failure
+		// must abort, or the exit-time save would replace a real snapshot
+		// we merely failed to see.
+		switch _, err := os.Stat(*snapshot); {
+		case err == nil:
 			loaded, err := docstore.Load(*snapshot)
 			if err != nil {
 				log.Fatalf("dstore: loading snapshot: %v", err)
 			}
 			store = loaded
 			log.Printf("dstore: loaded snapshot %s (%d collections)", *snapshot, len(store.Names()))
+		case errors.Is(err, fs.ErrNotExist):
+			log.Printf("dstore: no snapshot at %s, starting empty", *snapshot)
+		default:
+			log.Fatalf("dstore: checking snapshot: %v", err)
 		}
+	}
+	if *interval > 0 && *snapshot == "" {
+		log.Fatal("dstore: -snapshot-interval needs -snapshot")
 	}
 
 	var logger *log.Logger
@@ -48,9 +66,42 @@ func main() {
 	}
 	log.Printf("dstore: serving on %s (latency %v)", bound, *latency)
 
+	// Background snapshotter: Store.Save writes tmp+rename atomically, so a
+	// crash mid-snapshot leaves the previous one intact. stopped is closed
+	// by the snapshot goroutine on exit so the final save below never runs
+	// concurrently with a periodic one (two Saves would race on the .tmp
+	// path).
+	stop := make(chan struct{})
+	stopped := make(chan struct{})
+	if *interval > 0 {
+		go func() {
+			defer close(stopped)
+			ticker := time.NewTicker(*interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					start := time.Now()
+					if err := store.Save(*snapshot); err != nil {
+						log.Printf("dstore: periodic snapshot: %v", err)
+						continue
+					}
+					log.Printf("dstore: periodic snapshot saved to %s in %v",
+						*snapshot, time.Since(start).Round(time.Millisecond))
+				case <-stop:
+					return
+				}
+			}
+		}()
+	} else {
+		close(stopped)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
+	close(stop)
+	<-stopped
 	log.Printf("dstore: shutting down after %d requests", srv.Requests())
 	if err := srv.Close(); err != nil {
 		log.Printf("dstore: close: %v", err)

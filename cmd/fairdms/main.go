@@ -10,24 +10,32 @@
 //
 // Usage:
 //
-//	fairdms [-scans N] [-peaks N] [-store addr] [-timescale f]
+//	fairdms [-scans N] [-peaks N] [-store addr] [-dms addr] [-timescale f]
 //
 // With -store, historical data lives in an external dstore server;
-// otherwise an in-process store is used.
+// otherwise an in-process store is used. With -dms, the data and model
+// services themselves are remote: the rapid-train action talks to a dmsd
+// daemon over HTTP — certainty, label lookup, PDF, recommendation, and
+// checkpoint download all cross the network — and only the fine-tuning
+// happens locally, exercising the paper's service deployment end to end
+// (-store is then ignored; the daemon owns the store).
 package main
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"time"
 
 	"fairdms/internal/codec"
 	"fairdms/internal/core"
 	"fairdms/internal/datagen"
+	"fairdms/internal/dmsapi"
 	"fairdms/internal/docstore"
 	"fairdms/internal/embed"
 	"fairdms/internal/fairds"
@@ -42,10 +50,23 @@ import (
 
 const patch = 9
 
+// backend abstracts where the fairDMS services live: in-process (the
+// seed's single-binary mode) or behind a dmsd daemon reached over HTTP.
+type backend interface {
+	// rapidTrain runs the user-plane workflow for one scan's samples and
+	// returns the trained model plus the per-stage report.
+	rapidTrain(scan int, samples []*codec.Sample) (*nn.Model, *core.Report, error)
+	// ingest registers a scan's samples as labeled historical data.
+	ingest(scan int, samples []*codec.Sample) error
+	// summary describes the final system state.
+	summary() string
+}
+
 func main() {
 	scans := flag.Int("scans", 10, "number of scans in the simulated experiment")
 	peaks := flag.Int("peaks", 60, "peaks per scan")
 	storeAddr := flag.String("store", "", "external dstore address (empty = in-process)")
+	dmsAddr := flag.String("dms", "", "external dmsd address (empty = in-process services)")
 	timescale := flag.Float64("timescale", 0.001, "transfer time compression (0 = no sleeping)")
 	flag.Parse()
 
@@ -55,48 +76,25 @@ func main() {
 	schedule.JumpWidth = 0.1 * patch
 	seq := schedule.BraggExperiment(42, *scans, *peaks)
 
-	// --- Data service over a local or remote store ----------------------
-	var backend fairds.DataStore
-	if *storeAddr != "" {
-		client, err := docstore.Dial(*storeAddr, 8)
-		check(err)
-		defer client.Close()
-		backend = fairds.RemoteCollection{Client: client, Name: "bragg"}
-		log.Printf("fairdms: using external store at %s", *storeAddr)
-	} else {
-		backend = docstore.NewStore().Collection("bragg")
-	}
-
 	var warmup []*codec.Sample
 	for i := 0; i < 3; i++ {
 		warmup = append(warmup, seq[i]...)
 	}
-	wx, err := fairds.Collate(warmup)
-	check(err)
-	aug := embed.ImageAugmenter{H: patch, W: patch, Noise: 0.1, ScaleRange: 0.1}
-	byol := embed.NewBYOL(rng, wx.Dim(1), 64, 8, aug.View, 0.95)
-	byol.Train(wx, embed.TrainConfig{Epochs: 15, BatchSize: 32, LR: 2e-3, Seed: 43})
 
-	ds, err := fairds.New(byol, backend, fairds.Config{Seed: 44})
-	check(err)
-	check(ds.FitClustersK(wx, 8))
-	for i := 0; i < 3; i++ {
-		_, err := ds.IngestLabeled(seq[i], fmt.Sprintf("scan-%02d", i))
+	var be backend
+	if *dmsAddr != "" {
+		b, err := newRemoteBackend(*dmsAddr, rng, warmup)
 		check(err)
+		defer b.client.Close()
+		be = b
+		log.Printf("fairdms: using remote fairDMS services at %s", *dmsAddr)
+	} else {
+		b := newLocalBackend(rng, *storeAddr, warmup, seq)
+		if b.closer != nil {
+			defer b.closer()
+		}
+		be = b
 	}
-
-	zoo := fairms.NewZoo()
-	seedModel := models.NewBraggNN(rng, patch)
-	wy := labelTensor(warmup)
-	nn.Fit(seedModel.Net, nn.NewAdam(seedModel.Net.Params(), 2e-3),
-		wx, seedModel.Targets(wy), wx, seedModel.Targets(wy),
-		nn.TrainConfig{Epochs: 40, BatchSize: 16, Seed: 45})
-	pdf, err := ds.DatasetPDF(wx)
-	check(err)
-	check(zoo.Add("braggnn-warmup", seedModel.Net.State(), pdf, nil))
-
-	sys, err := core.New(ds, zoo, core.Config{Seed: 46})
-	check(err)
 
 	// --- Orchestration fabric -------------------------------------------
 	facility := transfer.NewEndpoint("facility")
@@ -134,22 +132,7 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		model, rep, err := sys.RapidTrain(core.Request{
-			Input: samples,
-			NewModel: func() *nn.Model {
-				return models.NewBraggNN(rng, patch).Net
-			},
-			Prep: func(ss []*codec.Sample) (*tensor.Tensor, *tensor.Tensor, error) {
-				x, err := fairds.Collate(ss)
-				if err != nil {
-					return nil, nil, err
-				}
-				helper := &models.BraggNN{Patch: patch}
-				return x, helper.Targets(labelTensor(ss)), nil
-			},
-			Train:   nn.TrainConfig{Epochs: 25, BatchSize: 16, Seed: int64(50 + scan)},
-			ModelID: fmt.Sprintf("braggnn-scan%02d", scan),
-		})
+		model, rep, err := be.rapidTrain(scan, samples)
 		if err != nil {
 			return nil, err
 		}
@@ -231,12 +214,239 @@ func main() {
 			mode, rep.JSD, rep.TrainTime.Round(time.Millisecond))
 
 		// Scan data becomes historical for subsequent scans.
-		_, err = ds.IngestLabeled(seq[scan], fmt.Sprintf("scan-%02d", scan))
+		check(be.ingest(scan, seq[scan]))
+	}
+	fmt.Printf("workflow complete: %s\n", be.summary())
+}
+
+// ---------------------------------------------------------------------------
+// Local backend: the seed's in-process wiring.
+
+type localBackend struct {
+	sys    *core.System
+	ds     *fairds.Service
+	zoo    *fairms.Zoo
+	rng    *rand.Rand
+	closer func() // closes the external docstore client pool, if any
+}
+
+func newLocalBackend(rng *rand.Rand, storeAddr string, warmup []*codec.Sample, seq [][]*codec.Sample) *localBackend {
+	var store fairds.DataStore
+	var closer func()
+	if storeAddr != "" {
+		client, err := docstore.Dial(storeAddr, 8)
+		check(err)
+		closer = client.Close
+		store = fairds.RemoteCollection{Client: client, Name: "bragg"}
+		log.Printf("fairdms: using external store at %s", storeAddr)
+	} else {
+		store = docstore.NewStore().Collection("bragg")
+	}
+
+	wx, err := fairds.Collate(warmup)
+	check(err)
+	aug := embed.ImageAugmenter{H: patch, W: patch, Noise: 0.1, ScaleRange: 0.1}
+	byol := embed.NewBYOL(rng, wx.Dim(1), 64, 8, aug.View, 0.95)
+	byol.Train(wx, embed.TrainConfig{Epochs: 15, BatchSize: 32, LR: 2e-3, Seed: 43})
+
+	ds, err := fairds.New(byol, store, fairds.Config{Seed: 44})
+	check(err)
+	check(ds.FitClustersK(wx, 8))
+	for i := 0; i < 3; i++ {
+		_, err := ds.IngestLabeled(seq[i], fmt.Sprintf("scan-%02d", i))
 		check(err)
 	}
-	fmt.Printf("workflow complete: zoo holds %d models, store holds %d samples\n",
-		zoo.Len(), ds.StoreCount())
+
+	zoo := fairms.NewZoo()
+	seedModel := models.NewBraggNN(rng, patch)
+	wy := labelTensor(warmup)
+	nn.Fit(seedModel.Net, nn.NewAdam(seedModel.Net.Params(), 2e-3),
+		wx, seedModel.Targets(wy), wx, seedModel.Targets(wy),
+		nn.TrainConfig{Epochs: 40, BatchSize: 16, Seed: 45})
+	pdf, err := ds.DatasetPDF(wx)
+	check(err)
+	check(zoo.Add("braggnn-warmup", seedModel.Net.State(), pdf, nil))
+
+	sys, err := core.New(ds, zoo, core.Config{Seed: 46})
+	check(err)
+	return &localBackend{sys: sys, ds: ds, zoo: zoo, rng: rng, closer: closer}
 }
+
+func (b *localBackend) rapidTrain(scan int, samples []*codec.Sample) (*nn.Model, *core.Report, error) {
+	return b.sys.RapidTrain(core.Request{
+		Input: samples,
+		NewModel: func() *nn.Model {
+			return models.NewBraggNN(b.rng, patch).Net
+		},
+		Prep: func(ss []*codec.Sample) (*tensor.Tensor, *tensor.Tensor, error) {
+			x, err := fairds.Collate(ss)
+			if err != nil {
+				return nil, nil, err
+			}
+			helper := &models.BraggNN{Patch: patch}
+			return x, helper.Targets(labelTensor(ss)), nil
+		},
+		Train:   nn.TrainConfig{Epochs: 25, BatchSize: 16, Seed: int64(50 + scan)},
+		ModelID: fmt.Sprintf("braggnn-scan%02d", scan),
+	})
+}
+
+func (b *localBackend) ingest(scan int, samples []*codec.Sample) error {
+	_, err := b.ds.IngestLabeled(samples, fmt.Sprintf("scan-%02d", scan))
+	return err
+}
+
+func (b *localBackend) summary() string {
+	return fmt.Sprintf("zoo holds %d models, store holds %d samples", b.zoo.Len(), b.ds.StoreCount())
+}
+
+// ---------------------------------------------------------------------------
+// Remote backend: the same user-plane workflow, but every fairDMS service
+// call — certainty, label lookup, PDF, recommendation, checkpoint download,
+// model registration — crosses the network to a dmsd daemon. Only the
+// fine-tuning itself runs locally (it is the HPC job).
+
+type remoteBackend struct {
+	client *dmsapi.Client
+	rng    *rand.Rand
+	jsdMax float64
+}
+
+func newRemoteBackend(addr string, rng *rand.Rand, warmup []*codec.Sample) (*remoteBackend, error) {
+	client, err := dmsapi.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	b := &remoteBackend{client: client, rng: rng, jsdMax: core.DefaultJSDThreshold}
+
+	// Warm-up: one combined ingest so the daemon's bootstrap fit sees all
+	// three scans, then a locally trained seed model registered under the
+	// warm-up data's PDF.
+	if _, err := client.Ingest("warmup", warmup); err != nil {
+		return nil, fmt.Errorf("warmup ingest: %w", err)
+	}
+	pdf, err := client.PDF(warmup)
+	if err != nil {
+		return nil, fmt.Errorf("warmup pdf: %w", err)
+	}
+	wx, err := fairds.Collate(warmup)
+	if err != nil {
+		return nil, err
+	}
+	seedModel := models.NewBraggNN(rng, patch)
+	wy := labelTensor(warmup)
+	nn.Fit(seedModel.Net, nn.NewAdam(seedModel.Net.Params(), 2e-3),
+		wx, seedModel.Targets(wy), wx, seedModel.Targets(wy),
+		nn.TrainConfig{Epochs: 40, BatchSize: 16, Seed: 45})
+	dup, err := addModelTolerateDuplicate(client, "braggnn-warmup", seedModel.Net.State(), pdf, nil)
+	if err != nil {
+		return nil, fmt.Errorf("warmup model: %w", err)
+	}
+	if dup {
+		log.Printf("fairdms: daemon already holds braggnn-warmup, reusing it")
+	}
+	return b, nil
+}
+
+// addModelTolerateDuplicate registers a model, treating "already exists"
+// as success: a long-lived daemon keeps models across fairdms runs, and a
+// re-run reusing its registry is the service working as intended. Returns
+// whether the model was already present.
+func addModelTolerateDuplicate(client *dmsapi.Client, id string, state *nn.StateDict, pdf []float64, meta map[string]string) (bool, error) {
+	err := client.AddModel(id, state, pdf, meta)
+	if err == nil {
+		return false, nil
+	}
+	var se *dmsapi.StatusError
+	if errors.As(err, &se) && se.Code == http.StatusConflict {
+		return true, nil
+	}
+	return false, err
+}
+
+func (b *remoteBackend) rapidTrain(scan int, samples []*codec.Sample) (*nn.Model, *core.Report, error) {
+	rep := &core.Report{}
+
+	cert, err := b.client.Certainty(samples, core.DefaultMembershipCut)
+	if err != nil {
+		return nil, nil, fmt.Errorf("remote certainty: %w", err)
+	}
+	rep.Certainty = cert
+
+	labelStart := time.Now()
+	labeled, err := b.client.Lookup(samples)
+	if err != nil {
+		return nil, nil, fmt.Errorf("remote label lookup: %w", err)
+	}
+	rep.LabelTime = time.Since(labelStart)
+	rep.Labeled = len(labeled)
+
+	pdf, err := b.client.PDF(samples)
+	if err != nil {
+		return nil, nil, fmt.Errorf("remote pdf: %w", err)
+	}
+	rep.PDF = pdf
+
+	model := models.NewBraggNN(b.rng, patch).Net
+	lr := core.DefaultScratchLR
+	rec, err := b.client.Recommend(pdf, b.jsdMax)
+	if err != nil {
+		return nil, nil, fmt.Errorf("remote recommend: %w", err)
+	}
+	if rec.OK {
+		sd, err := b.client.Checkpoint(rec.ID)
+		if err != nil {
+			return nil, nil, fmt.Errorf("remote checkpoint %s: %w", rec.ID, err)
+		}
+		if err := model.LoadState(sd); err != nil {
+			return nil, nil, fmt.Errorf("loading foundation %q: %w", rec.ID, err)
+		}
+		rep.FineTuned = true
+		rep.Foundation = rec.ID
+		rep.JSD = rec.JSD
+		lr = core.DefaultFineTuneLR
+	}
+
+	x, err := fairds.Collate(labeled)
+	if err != nil {
+		return nil, nil, err
+	}
+	helper := &models.BraggNN{Patch: patch}
+	y := helper.Targets(labelTensor(labeled))
+	// Same holdout split as the in-process core.RapidTrain path (its
+	// ValFraction default, the local backend's seed), so -dms runs report
+	// comparable numbers.
+	trainX, trainY, valX, valY := core.Split(x, y, core.DefaultValFraction, 46)
+	trainStart := time.Now()
+	rep.Result = nn.Fit(model, nn.NewAdam(model.Params(), lr), trainX, trainY, valX, valY,
+		nn.TrainConfig{Epochs: 25, BatchSize: 16, Seed: int64(50 + scan)})
+	rep.TrainTime = time.Since(trainStart)
+
+	id := fmt.Sprintf("braggnn-scan%02d", scan)
+	dup, err := addModelTolerateDuplicate(b.client, id, model.State(), pdf, map[string]string{"scan": fmt.Sprint(scan)})
+	if err != nil {
+		return nil, nil, fmt.Errorf("registering %s: %w", id, err)
+	}
+	if dup {
+		log.Printf("fairdms: daemon already holds %s, keeping its copy", id)
+	}
+	return model, rep, nil
+}
+
+func (b *remoteBackend) ingest(scan int, samples []*codec.Sample) error {
+	_, err := b.client.Ingest(fmt.Sprintf("scan-%02d", scan), samples)
+	return err
+}
+
+func (b *remoteBackend) summary() string {
+	h, err := b.client.Health()
+	if err != nil {
+		return fmt.Sprintf("daemon unreachable: %v", err)
+	}
+	return fmt.Sprintf("remote zoo holds %d models, remote store holds %d samples", h.Models, h.Samples)
+}
+
+// ---------------------------------------------------------------------------
 
 func blobName(scan int) string  { return fmt.Sprintf("scan-%02d.dat", scan) }
 func modelName(scan int) string { return fmt.Sprintf("model-%02d.sd", scan) }

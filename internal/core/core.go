@@ -49,24 +49,36 @@ type Config struct {
 	Seed int64
 }
 
+// Default Config values, exported so clients that replicate the user-plane
+// workflow against remote services (cmd/fairdms -dms) share one source of
+// truth instead of hardcoding drifting copies.
+const (
+	DefaultCertaintyTrigger = 0.8
+	DefaultMembershipCut    = 0.5
+	DefaultJSDThreshold     = 0.5
+	DefaultFineTuneLR       = 2e-4
+	DefaultScratchLR        = 1e-3
+	DefaultValFraction      = 0.2
+)
+
 func (c *Config) defaults() {
 	if c.CertaintyTrigger <= 0 {
-		c.CertaintyTrigger = 0.8
+		c.CertaintyTrigger = DefaultCertaintyTrigger
 	}
 	if c.MembershipCut <= 0 {
-		c.MembershipCut = 0.5
+		c.MembershipCut = DefaultMembershipCut
 	}
 	if c.JSDThreshold <= 0 {
-		c.JSDThreshold = 0.5
+		c.JSDThreshold = DefaultJSDThreshold
 	}
 	if c.FineTuneLR <= 0 {
-		c.FineTuneLR = 2e-4
+		c.FineTuneLR = DefaultFineTuneLR
 	}
 	if c.ScratchLR <= 0 {
-		c.ScratchLR = 1e-3
+		c.ScratchLR = DefaultScratchLR
 	}
 	if c.ValFraction <= 0 || c.ValFraction >= 1 {
-		c.ValFraction = 0.2
+		c.ValFraction = DefaultValFraction
 	}
 }
 
@@ -211,7 +223,7 @@ func (s *System) RapidTrain(req Request) (*nn.Model, *Report, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: preparing training data: %w", err)
 	}
-	trainX, trainY, valX, valY := split(tx, ty, s.cfg.ValFraction, s.cfg.Seed)
+	trainX, trainY, valX, valY := Split(tx, ty, s.cfg.ValFraction, s.cfg.Seed)
 	trainStart := time.Now()
 	opt := nn.NewAdam(model.Params(), lr)
 	rep.Result = nn.Fit(model, opt, trainX, trainY, valX, valY, req.Train)
@@ -248,8 +260,10 @@ func (s *System) CheckDataset(samples []*codec.Sample) (certainty float64, trigg
 	return cert, false, nil
 }
 
-// split partitions (x, y) into train and validation subsets.
-func split(x, y *tensor.Tensor, valFrac float64, seed int64) (tx, ty, vx, vy *tensor.Tensor) {
+// Split partitions (x, y) into train and validation subsets — the holdout
+// RapidTrain uses for convergence tracking, exported so remote-service
+// clients replicating the user-plane workflow split identically.
+func Split(x, y *tensor.Tensor, valFrac float64, seed int64) (tx, ty, vx, vy *tensor.Tensor) {
 	n := x.Dim(0)
 	nVal := int(float64(n) * valFrac)
 	if nVal < 1 {

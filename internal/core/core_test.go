@@ -327,12 +327,12 @@ func TestRefreshErrorPropagates(t *testing.T) {
 func TestSplitSizes(t *testing.T) {
 	x := tensor.New(10, 2)
 	y := tensor.New(10, 1)
-	tx, ty, vx, vy := split(x, y, 0.2, 1)
+	tx, ty, vx, vy := Split(x, y, 0.2, 1)
 	if tx.Dim(0) != 8 || vx.Dim(0) != 2 || ty.Dim(0) != 8 || vy.Dim(0) != 2 {
 		t.Fatalf("split sizes %d/%d", tx.Dim(0), vx.Dim(0))
 	}
 	// Tiny sets still keep at least one row on each side.
-	tx, _, vx, _ = split(tensor.New(2, 1), tensor.New(2, 1), 0.9, 1)
+	tx, _, vx, _ = Split(tensor.New(2, 1), tensor.New(2, 1), 0.9, 1)
 	if tx.Dim(0) < 1 || vx.Dim(0) < 1 {
 		t.Fatal("degenerate split")
 	}

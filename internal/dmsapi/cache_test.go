@@ -1,0 +1,139 @@
+package dmsapi
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheHitAndEviction(t *testing.T) {
+	c := newCache(2)
+	compute := func(v string) func() (any, error) {
+		return func() (any, error) { return v, nil }
+	}
+	for _, k := range []string{"a", "b", "a", "c"} {
+		if v, err := c.do(k, compute(k)); err != nil || v != k {
+			t.Fatalf("do(%s) = %v, %v", k, v, err)
+		}
+	}
+	// "a" was most recently used before "c" arrived, so "b" was evicted.
+	st := c.stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	calls := 0
+	c.do("b", func() (any, error) { calls++; return "b", nil })
+	if calls != 1 {
+		t.Fatal("evicted key should recompute")
+	}
+	// Re-adding "b" evicted "a"; "c" is still retained.
+	c.do("c", func() (any, error) { calls++; return "", nil })
+	if calls != 1 {
+		t.Fatal("retained key should not recompute")
+	}
+}
+
+func TestCacheCoalescesConcurrentCalls(t *testing.T) {
+	c := newCache(4)
+	var computes atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]any, 10)
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.do("hot", func() (any, error) {
+				computes.Add(1)
+				close(started)
+				<-release // hold the computation open so others pile up
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	<-started
+	time.Sleep(20 * time.Millisecond) // let the rest reach the coalesce path
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times for one hot key", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("caller %d got %v", i, v)
+		}
+	}
+	st := c.stats()
+	if st.Coalesced+st.Hits != 9 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheErrorsAreNotCached(t *testing.T) {
+	c := newCache(4)
+	calls := 0
+	fail := func() (any, error) { calls++; return nil, errors.New("boom") }
+	if _, err := c.do("k", fail); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := c.do("k", fail); err == nil {
+		t.Fatal("expected error again")
+	}
+	if calls != 2 {
+		t.Fatalf("failed compute was cached (calls = %d)", calls)
+	}
+	if c.len() != 0 {
+		t.Fatal("error result retained")
+	}
+}
+
+// TestCachePanicDoesNotPoisonKey checks panic safety: a panicking compute
+// must not leave the key's in-flight entry registered (which would block
+// every later caller forever).
+func TestCachePanicDoesNotPoisonKey(t *testing.T) {
+	c := newCache(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		c.do("k", func() (any, error) { panic("boom") })
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := c.do("k", func() (any, error) { return 7, nil })
+		if err != nil || v != 7 {
+			t.Errorf("do after panic = %v, %v", v, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("key poisoned: second caller blocked after a panicking compute")
+	}
+}
+
+func TestCacheZeroCapacityCoalescesOnly(t *testing.T) {
+	c := newCache(0)
+	calls := 0
+	compute := func() (any, error) { calls++; return 1, nil }
+	c.do("k", compute)
+	c.do("k", compute)
+	if calls != 2 {
+		t.Fatalf("zero-capacity cache memoized (calls = %d)", calls)
+	}
+	if st := c.stats(); st.Size != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,269 @@
+package dmsapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"fairdms/internal/codec"
+	"fairdms/internal/nn"
+	"fairdms/internal/stats"
+)
+
+// Client is a typed HTTP client for a dmsapi.Server. It reuses pooled
+// keep-alive connections (many requests share a handful of TCP streams, the
+// docstore client-pool idea applied to HTTP) and retries requests that
+// failed at the transport level — connection refused/reset, broken
+// keep-alive — with linear backoff. HTTP-level errors (4xx/5xx) are never
+// retried: the server answered, the answer was no. Note the retry semantics
+// for Ingest/AddModel: a response lost after the server committed the write
+// can surface a duplicate-side effect on retry; the server's duplicate-ID
+// rejection on AddModel makes that visible rather than silent. Safe for
+// concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// ClientConfig tunes a Client.
+type ClientConfig struct {
+	// Retries is the number of extra attempts after a transport-level
+	// failure (default 2).
+	Retries int
+	// Backoff is the base retry delay, multiplied by the attempt number
+	// (default 50ms).
+	Backoff time.Duration
+	// Timeout bounds each HTTP request end to end (default 30s).
+	Timeout time.Duration
+}
+
+func (c *ClientConfig) defaults() {
+	if c.Retries <= 0 {
+		c.Retries = 2
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+}
+
+// Dial builds a client for the server at addr ("host:port") and probes
+// /healthz so misconfiguration fails fast.
+func Dial(addr string) (*Client, error) {
+	return DialConfig(addr, ClientConfig{})
+}
+
+// DialConfig is Dial with explicit tuning.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	cfg.defaults()
+	c := &Client{
+		base:    "http://" + addr,
+		retries: cfg.Retries,
+		backoff: cfg.Backoff,
+		hc: &http.Client{
+			Timeout: cfg.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        32,
+				MaxIdleConnsPerHost: 32,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+	if err := c.Ping(); err != nil {
+		return nil, fmt.Errorf("dmsapi: dial %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// Ping verifies the server answers /healthz.
+func (c *Client) Ping() error {
+	_, err := c.Health()
+	return err
+}
+
+// Health fetches the server's health summary.
+func (c *Client) Health() (HealthResponse, error) {
+	var out HealthResponse
+	err := c.getJSON(PathHealth, &out)
+	return out, err
+}
+
+// ServerStats fetches the server's /statsz counters.
+func (c *Client) ServerStats() (Stats, error) {
+	var out Stats
+	err := c.getJSON(PathStats, &out)
+	return out, err
+}
+
+// Close releases idle keep-alive connections.
+func (c *Client) Close() { c.hc.CloseIdleConnections() }
+
+// ---------------------------------------------------------------------------
+// Data plane
+
+// Ingest stores labeled samples under a dataset tag, returning document IDs.
+func (c *Client) Ingest(dataset string, samples []*codec.Sample) ([]string, error) {
+	var out IngestResponse
+	err := c.postJSON(PathIngest, IngestRequest{Dataset: dataset, Samples: FromCodecSlice(samples)}, &out)
+	return out.IDs, err
+}
+
+// Certainty returns the fuzzy-clustering certainty of a dataset at the
+// given membership threshold (<= 0 uses the server default of 0.5).
+func (c *Client) Certainty(samples []*codec.Sample, threshold float64) (float64, error) {
+	var out CertaintyResponse
+	err := c.postJSON(PathCertainty, CertaintyRequest{Samples: FromCodecSlice(samples), Threshold: threshold}, &out)
+	return out.Certainty, err
+}
+
+// Lookup retrieves PDF-matched labeled historical samples for the input.
+func (c *Client) Lookup(samples []*codec.Sample) ([]*codec.Sample, error) {
+	var out LookupResponse
+	if err := c.postJSON(PathLookup, LookupRequest{Samples: FromCodecSlice(samples)}, &out); err != nil {
+		return nil, err
+	}
+	return ToCodecSlice(out.Samples), nil
+}
+
+// Nearest returns the nearest labeled historical document per input sample.
+func (c *Client) Nearest(samples []*codec.Sample, distinct bool) ([]Match, error) {
+	var out NearestResponse
+	err := c.postJSON(PathNearest, NearestRequest{Samples: FromCodecSlice(samples), Distinct: distinct}, &out)
+	return out.Matches, err
+}
+
+// PDF computes the dataset's cluster probability distribution.
+func (c *Client) PDF(samples []*codec.Sample) (stats.PDF, error) {
+	var out PDFResponse
+	if err := c.postJSON(PathPDF, PDFRequest{Samples: FromCodecSlice(samples)}, &out); err != nil {
+		return nil, err
+	}
+	return stats.PDF(out.PDF), nil
+}
+
+// ---------------------------------------------------------------------------
+// Model plane
+
+// AddModel registers a checkpoint with the PDF of its training data.
+func (c *Client) AddModel(id string, state *nn.StateDict, pdf stats.PDF, meta map[string]string) error {
+	blob, err := state.Bytes()
+	if err != nil {
+		return err
+	}
+	var out ModelInfo
+	return c.postJSON(PathModels, AddModelRequest{ID: id, PDF: pdf, Meta: meta, State: blob}, &out)
+}
+
+// Models lists zoo entries in insertion order (no weights).
+func (c *Client) Models() ([]ModelInfo, error) {
+	var out ModelsResponse
+	err := c.getJSON(PathModels, &out)
+	return out.Models, err
+}
+
+// Recommend asks for the best foundation model for a dataset PDF. With
+// maxJSD > 0 the paper's distance threshold applies; OK=false means train
+// from scratch.
+func (c *Client) Recommend(pdf stats.PDF, maxJSD float64) (RecommendResponse, error) {
+	var out RecommendResponse
+	err := c.postJSON(PathRecommend, RecommendRequest{PDF: pdf, MaxJSD: maxJSD}, &out)
+	return out, err
+}
+
+// Checkpoint downloads and decodes a model's weights.
+func (c *Client) Checkpoint(id string) (*nn.StateDict, error) {
+	body, err := c.doRetry("GET", strings.Replace(PathCheckpoint, "{id}", url.PathEscape(id), 1), nil)
+	if err != nil {
+		return nil, err
+	}
+	return nn.StateDictFromBytes(body)
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+
+func (c *Client) postJSON(path string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("dmsapi: encoding request: %w", err)
+	}
+	body, err := c.doRetry("POST", path, payload)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, out)
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	body, err := c.doRetry("GET", path, nil)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, out)
+}
+
+// doRetry performs one HTTP exchange, retrying transport-level failures.
+// The request body is a byte slice (not a stream) precisely so each retry
+// can resend it from the start.
+func (c *Client) doRetry(method, path string, payload []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * c.backoff)
+		}
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, c.base+path, body)
+		if err != nil {
+			return nil, err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err // transport-level: connection refused/reset, timeout
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err // response truncated mid-stream
+			continue
+		}
+		if resp.StatusCode/100 != 2 {
+			return nil, statusError(resp.StatusCode, data)
+		}
+		return data, nil
+	}
+	return nil, fmt.Errorf("dmsapi: %s %s failed after %d attempts: %w", method, path, c.retries+1, lastErr)
+}
+
+// StatusError is the typed form of a non-2xx server response.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("dmsapi: server returned %d: %s", e.Code, e.Message)
+}
+
+func statusError(code int, body []byte) error {
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+		er.Error = strings.TrimSpace(string(body))
+	}
+	return &StatusError{Code: code, Message: er.Error}
+}

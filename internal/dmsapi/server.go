@@ -1,0 +1,637 @@
+package dmsapi
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fairdms/internal/codec"
+	"fairdms/internal/fairds"
+	"fairdms/internal/fairms"
+	"fairdms/internal/nn"
+)
+
+// Defaults for ServerConfig zero values.
+const (
+	defaultMaxInFlight  = 64
+	defaultCacheSize    = 128
+	defaultMaxBodyBytes = 256 << 20 // 256 MiB: generous for sample batches, blocks runaway bodies
+)
+
+// ServerConfig wires a Server to its two services and tunes its behavior.
+type ServerConfig struct {
+	// DS is the FAIR Data Service instance to serve. Required.
+	DS *fairds.Service
+	// Zoo is the FAIR Model Service model zoo to serve. Required.
+	Zoo *fairms.Zoo
+	// MaxInFlight bounds concurrently handled requests; excess load is shed
+	// with 429 so a burst degrades into fast rejections instead of a pileup
+	// (health and stats endpoints are exempt). Zero means
+	// defaultMaxInFlight; negative means unlimited.
+	MaxInFlight int
+	// CacheSize bounds the LRU of completed recommend/PDF results. Zero
+	// means defaultCacheSize; negative disables memoization (in-flight
+	// coalescing stays on).
+	CacheSize int
+	// BootstrapK, when positive, lets a daemon start with an unfitted data
+	// service: the first ingest fits the clustering module with K =
+	// BootstrapK on that batch before storing it. Zero requires the caller
+	// to have fitted clusters already.
+	BootstrapK int
+	// MaxBodyBytes caps request-body size; oversized bodies fail instead of
+	// occupying memory and an admission slot indefinitely. Zero means
+	// defaultMaxBodyBytes; negative means unlimited.
+	MaxBodyBytes int64
+	// Logger receives request-failure logs; nil silences them.
+	Logger *log.Logger
+}
+
+// Server exposes a fairds.Service and fairms.Zoo over HTTP/JSON. It is
+// production-shaped: bounded in-flight concurrency with 429 shedding, a
+// coalescing LRU cache on the hot read paths (recommend, PDF), per-endpoint
+// request/error/latency counters surfaced at /statsz, and graceful
+// shutdown. Safe for concurrent use.
+type Server struct {
+	cfg   ServerConfig
+	mux   *http.ServeMux
+	http  *http.Server
+	lis   net.Listener
+	start time.Time
+
+	// dsMu guards the fairds.Service: the bootstrap fit mutates its
+	// clustering model, everything else only reads it. fairms.Zoo locks
+	// internally and needs no guarding here.
+	dsMu sync.RWMutex
+	// clusterK mirrors DS.K() so /healthz never waits on dsMu — the
+	// bootstrap fit holds it exclusively for a full k-means run, and a
+	// liveness probe stalling exactly then would get the daemon killed
+	// mid-bootstrap.
+	clusterK atomic.Int64
+
+	// sem is the in-flight admission semaphore (nil = unlimited).
+	sem      chan struct{}
+	inFlight atomic.Int64
+	shed     atomic.Int64
+	requests atomic.Int64
+
+	cache *cache
+	// zooGen/clusterGen version the cache keyspace: adding a model
+	// invalidates recommend results, refitting clusters invalidates PDF
+	// results. Bumping the generation orphans stale entries, which age out
+	// of the LRU.
+	zooGen     atomic.Uint64
+	clusterGen atomic.Uint64
+
+	metrics map[string]*endpointMetrics
+}
+
+// endpointMetrics accumulates per-endpoint counters with atomics so the
+// request path never serializes on a stats lock.
+type endpointMetrics struct {
+	count   atomic.Int64
+	errors  atomic.Int64
+	totalNS atomic.Int64
+	maxNS   atomic.Int64
+}
+
+func (m *endpointMetrics) observe(d time.Duration, failed bool) {
+	m.count.Add(1)
+	if failed {
+		m.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	m.totalNS.Add(ns)
+	for {
+		cur := m.maxNS.Load()
+		if ns <= cur || m.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// httpError carries a status code through handler returns.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errf(code int, format string, args ...any) error {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// NewServer validates the config and builds the routing table; call Listen
+// to start serving.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.DS == nil || cfg.Zoo == nil {
+		return nil, errors.New("dmsapi: server needs both a data service and a model zoo")
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = defaultMaxInFlight
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = defaultCacheSize
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		cache:   newCache(max(cfg.CacheSize, 0)),
+		metrics: make(map[string]*endpointMetrics),
+	}
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	s.clusterK.Store(int64(cfg.DS.K()))
+
+	s.route("POST "+PathIngest, "data.ingest", true, s.handleIngest)
+	s.route("POST "+PathCertainty, "data.certainty", true, s.handleCertainty)
+	s.route("POST "+PathLookup, "data.lookup", true, s.handleLookup)
+	s.route("POST "+PathNearest, "data.nearest", true, s.handleNearest)
+	s.route("POST "+PathPDF, "data.pdf", true, s.handlePDF)
+	s.route("POST "+PathModels, "models.add", true, s.handleAddModel)
+	s.route("GET "+PathModels, "models.list", true, s.handleListModels)
+	s.route("POST "+PathRecommend, "models.recommend", true, s.handleRecommend)
+	s.route("GET "+PathCheckpoint, "models.checkpoint", true, s.handleCheckpoint)
+	s.route("GET "+PathHealth, "healthz", false, s.handleHealth)
+	s.route("GET "+PathStats, "statsz", false, s.handleStats)
+	return s, nil
+}
+
+// route registers a handler with admission control and metrics. shed=false
+// exempts the endpoint from load shedding (health and stats must answer
+// even when the server is saturated).
+func (s *Server) route(pattern, name string, shed bool, h func(w http.ResponseWriter, r *http.Request) error) {
+	m := &endpointMetrics{}
+	s.metrics[name] = m
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		if shed && s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.shed.Add(1)
+				writeError(w, http.StatusTooManyRequests, "server at max in-flight requests")
+				return
+			}
+		}
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		s.requests.Add(1)
+		begin := time.Now()
+		err := h(w, r)
+		m.observe(time.Since(begin), err != nil)
+		if err != nil {
+			code := http.StatusInternalServerError
+			var he *httpError
+			if errors.As(err, &he) {
+				code = he.code
+			}
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Printf("dmsapi: %s %s: %d %v", r.Method, r.URL.Path, code, err)
+			}
+			writeError(w, code, err.Error())
+		}
+	})
+}
+
+// Listen binds to addr ("127.0.0.1:0" picks a free port) and starts
+// serving in a background goroutine. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.lis = lis
+	s.http = &http.Server{
+		Handler: s.mux,
+		// Bound header reads and idle keep-alives so trickling clients
+		// cannot pin connections (and admission slots) forever. No global
+		// ReadTimeout: large legitimate ingest bodies stream at their own
+		// pace under the MaxBodyBytes cap.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go s.http.Serve(lis)
+	return lis.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Listen).
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Handler exposes the routing table (e.g. for httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown gracefully stops the server: the listener closes immediately,
+// in-flight requests get until ctx expires to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Shutdown(ctx)
+}
+
+// Requests reports how many requests have been handled (shed ones excluded).
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// Shed reports how many requests were rejected with 429.
+func (s *Server) Shed() int64 { return s.shed.Load() }
+
+// Stats snapshots the server counters (the /statsz payload).
+func (s *Server) Stats() Stats {
+	eps := make(map[string]EndpointStats, len(s.metrics))
+	for name, m := range s.metrics {
+		count := m.count.Load()
+		total := float64(m.totalNS.Load()) / 1e6
+		ep := EndpointStats{
+			Count:   count,
+			Errors:  m.errors.Load(),
+			TotalMS: total,
+			MaxMS:   float64(m.maxNS.Load()) / 1e6,
+		}
+		if count > 0 {
+			ep.AverageMS = total / float64(count)
+		}
+		eps[name] = ep
+	}
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		InFlight:      int(s.inFlight.Load()),
+		Shed:          s.shed.Load(),
+		Requests:      s.requests.Load(),
+		Cache:         s.cache.stats(),
+		Endpoints:     eps,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Data-plane handlers
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
+	var req IngestRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		return err
+	}
+	samples, err := decodeSamples(req.Samples)
+	if err != nil {
+		return err
+	}
+	if err := s.ensureClusters(samples); err != nil {
+		return err
+	}
+	s.dsMu.RLock()
+	ids, err := s.cfg.DS.IngestLabeled(samples, req.Dataset)
+	s.dsMu.RUnlock()
+	if err != nil {
+		return serviceError(err)
+	}
+	return writeJSON(w, IngestResponse{IDs: ids})
+}
+
+// ensureClusters performs the bootstrap fit: a daemon that started with an
+// empty store fits its clustering module on the first ingested batch.
+func (s *Server) ensureClusters(samples []*codec.Sample) error {
+	s.dsMu.RLock()
+	fitted := s.cfg.DS.K() > 0
+	s.dsMu.RUnlock()
+	if fitted || s.cfg.BootstrapK <= 0 {
+		return nil
+	}
+	s.dsMu.Lock()
+	defer s.dsMu.Unlock()
+	if s.cfg.DS.K() > 0 { // raced with another bootstrapper
+		return nil
+	}
+	x, err := fairds.Collate(samples)
+	if err != nil {
+		return errf(http.StatusBadRequest, "ingest: %v", err)
+	}
+	if err := s.cfg.DS.FitClustersK(x, s.cfg.BootstrapK); err != nil {
+		return serviceError(err)
+	}
+	s.clusterK.Store(int64(s.cfg.DS.K()))
+	s.clusterGen.Add(1)
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("dmsapi: bootstrap-fitted %d clusters on a %d-sample batch",
+			s.cfg.BootstrapK, len(samples))
+	}
+	return nil
+}
+
+func (s *Server) handleCertainty(w http.ResponseWriter, r *http.Request) error {
+	var req CertaintyRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		return err
+	}
+	samples, err := decodeSamples(req.Samples)
+	if err != nil {
+		return err
+	}
+	x, err := fairds.Collate(samples)
+	if err != nil {
+		return errf(http.StatusBadRequest, "certainty: %v", err)
+	}
+	threshold := req.Threshold
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	s.dsMu.RLock()
+	cert, err := s.cfg.DS.Certainty(x, threshold)
+	s.dsMu.RUnlock()
+	if err != nil {
+		return serviceError(err)
+	}
+	return writeJSON(w, CertaintyResponse{Certainty: cert})
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) error {
+	var req LookupRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		return err
+	}
+	samples, err := decodeSamples(req.Samples)
+	if err != nil {
+		return err
+	}
+	x, err := fairds.Collate(samples)
+	if err != nil {
+		return errf(http.StatusBadRequest, "lookup: %v", err)
+	}
+	s.dsMu.RLock()
+	labeled, err := s.cfg.DS.LookupLabeled(x)
+	s.dsMu.RUnlock()
+	if err != nil {
+		return serviceError(err)
+	}
+	return writeJSON(w, LookupResponse{Samples: FromCodecSlice(labeled)})
+}
+
+func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) error {
+	var req NearestRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		return err
+	}
+	samples, err := decodeSamples(req.Samples)
+	if err != nil {
+		return err
+	}
+	s.dsMu.RLock()
+	matches, err := s.cfg.DS.NearestMatches(samples, req.Distinct)
+	s.dsMu.RUnlock()
+	if err != nil {
+		return serviceError(err)
+	}
+	out := make([]Match, len(matches))
+	for i, m := range matches {
+		if m.DocID != "" {
+			out[i] = Match{DocID: m.DocID, Dist: m.Dist, Found: true}
+		}
+	}
+	return writeJSON(w, NearestResponse{Matches: out})
+}
+
+func (s *Server) handlePDF(w http.ResponseWriter, r *http.Request) error {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return errf(http.StatusBadRequest, "pdf: reading body: %v", err)
+	}
+	key := fmt.Sprintf("pdf:%d:%s", s.clusterGen.Load(), bodyHash(body))
+	v, err := s.cache.do(key, func() (any, error) {
+		var req PDFRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, errf(http.StatusBadRequest, "pdf: decoding request: %v", err)
+		}
+		samples, err := decodeSamples(req.Samples)
+		if err != nil {
+			return nil, err
+		}
+		x, err := fairds.Collate(samples)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "pdf: %v", err)
+		}
+		s.dsMu.RLock()
+		pdf, err := s.cfg.DS.DatasetPDF(x)
+		s.dsMu.RUnlock()
+		if err != nil {
+			return nil, serviceError(err)
+		}
+		return PDFResponse{PDF: pdf, K: len(pdf)}, nil
+	})
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, v)
+}
+
+// ---------------------------------------------------------------------------
+// Model-plane handlers
+
+func (s *Server) handleAddModel(w http.ResponseWriter, r *http.Request) error {
+	var req AddModelRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		return err
+	}
+	if len(req.State) == 0 {
+		return errf(http.StatusBadRequest, "models: empty state blob")
+	}
+	sd, err := nn.StateDictFromBytes(req.State)
+	if err != nil {
+		return errf(http.StatusBadRequest, "models: %v", err)
+	}
+	if err := s.cfg.Zoo.Add(req.ID, sd, req.PDF, req.Meta); err != nil {
+		// Only a duplicate ID is a conflict; everything else Add rejects
+		// (empty ID, invalid PDF) is a malformed request.
+		if errors.Is(err, fairms.ErrDuplicateID) {
+			return errf(http.StatusConflict, "%v", err)
+		}
+		return errf(http.StatusBadRequest, "%v", err)
+	}
+	s.zooGen.Add(1) // recommend results computed against the old zoo are stale
+	return writeJSON(w, ModelInfo{ID: req.ID, K: len(req.PDF), Meta: req.Meta})
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) error {
+	ids := s.cfg.Zoo.IDs()
+	models := make([]ModelInfo, 0, len(ids))
+	for _, id := range ids {
+		rec, err := s.cfg.Zoo.Get(id)
+		if err != nil {
+			continue // removed between IDs() and Get()
+		}
+		models = append(models, ModelInfo{
+			ID: rec.ID, K: len(rec.TrainPDF), Meta: rec.Meta, AddedAt: rec.AddedAt,
+		})
+	}
+	return writeJSON(w, ModelsResponse{Models: models})
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) error {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return errf(http.StatusBadRequest, "recommend: reading body: %v", err)
+	}
+	key := fmt.Sprintf("rec:%d:%s", s.zooGen.Load(), bodyHash(body))
+	v, err := s.cache.do(key, func() (any, error) {
+		var req RecommendRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, errf(http.StatusBadRequest, "recommend: decoding request: %v", err)
+		}
+		ranked, err := s.cfg.Zoo.Rank(req.PDF)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		if len(ranked) == 0 {
+			return RecommendResponse{OK: false}, nil
+		}
+		best := ranked[0]
+		if req.MaxJSD > 0 && best.JSD > req.MaxJSD {
+			return RecommendResponse{JSD: best.JSD, OK: false}, nil
+		}
+		return RecommendResponse{ID: best.Record.ID, JSD: best.JSD, OK: true}, nil
+	})
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, v)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	rec, err := s.cfg.Zoo.Get(id)
+	if err != nil {
+		return errf(http.StatusNotFound, "%v", err)
+	}
+	// Encode to memory first: once bytes hit the ResponseWriter the status
+	// is committed, and a mid-stream encode failure could no longer be
+	// reported as an error response.
+	blob, err := rec.State.Bytes()
+	if err != nil {
+		return errf(http.StatusInternalServerError, "encoding checkpoint %s: %v", id, err)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	// A write failure here means the client went away; the response is
+	// already committed, so there is no error body left to send.
+	w.Write(blob)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Operational handlers
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
+	// No dsMu here: clusterK is the server's own mirror, and StoreCount
+	// only touches the internally synchronized store — so liveness answers
+	// even while a bootstrap fit holds dsMu exclusively.
+	return writeJSON(w, HealthResponse{
+		Status:  "ok",
+		K:       int(s.clusterK.Load()),
+		Models:  s.cfg.Zoo.Len(),
+		Samples: s.cfg.DS.StoreCount(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	return writeJSON(w, s.Stats())
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+// serviceError maps library errors to HTTP status codes: an unfitted
+// clustering model is the caller's sequencing problem (the service is up
+// but not ready for lookups — 409), everything else is internal (500).
+func serviceError(err error) error {
+	var he *httpError
+	if errors.As(err, &he) {
+		return err
+	}
+	if errors.Is(err, fairds.ErrNotFitted) {
+		return errf(http.StatusConflict, "%v", err)
+	}
+	return errf(http.StatusInternalServerError, "%v", err)
+}
+
+// decodeSamples converts and validates untrusted wire samples. Every
+// data-plane handler passes its input through here, so a shape/dtype/
+// payload mismatch becomes a 400 instead of a panic deeper in the stack
+// (codec.Sample.Floats indexes Data by shape, and Dtype.Size panics on
+// unknown dtypes).
+func decodeSamples(ws []Sample) ([]*codec.Sample, error) {
+	if len(ws) == 0 {
+		return nil, errf(http.StatusBadRequest, "empty sample batch")
+	}
+	out := make([]*codec.Sample, len(ws))
+	for i := range ws {
+		if d := codec.Dtype(ws[i].Dtype); d < codec.U8 || d > codec.F64 {
+			return nil, errf(http.StatusBadRequest, "sample %d: unknown dtype %d", i, ws[i].Dtype)
+		}
+		s := ws[i].ToCodec()
+		if s.Elems() <= 0 {
+			return nil, errf(http.StatusBadRequest, "sample %d: shape %v has no elements", i, s.Shape)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, errf(http.StatusBadRequest, "sample %d: %v", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+func decodeJSON(r io.Reader, v any) error {
+	if err := json.NewDecoder(r).Decode(v); err != nil {
+		return errf(http.StatusBadRequest, "decoding request: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+}
+
+func bodyHash(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// EndpointNames lists the registered metric names, sorted — handy for
+// stable /statsz rendering in tests and tooling.
+func (s *Server) EndpointNames() []string {
+	names := make([]string, 0, len(s.metrics))
+	for name := range s.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

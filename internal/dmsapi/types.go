@@ -1,0 +1,231 @@
+// Package dmsapi exposes fairDMS's two services — the FAIR Data Service
+// (internal/fairds) and the FAIR Model Service (internal/fairms) — over
+// HTTP/JSON, the deployment shape the paper assumes: experimental-facility
+// workflows call both services across the network to fetch PDF-matched
+// labeled data and the closest prior checkpoint (Ali et al., Cluster 2022;
+// Ravi et al., 2022). The package ships three pieces:
+//
+//   - typed request/response structs (this file) shared by client and
+//     server, so the wire contract lives in one place;
+//   - Server, a production-shaped HTTP front end with bounded in-flight
+//     concurrency (429 shedding), singleflight coalescing plus a small LRU
+//     for hot recommend/PDF queries, request/latency/cache counters on
+//     /statsz, and graceful shutdown;
+//   - Client, a typed Go client with connection reuse and
+//     retry-on-connection-error.
+//
+// Checkpoints travel as gob-encoded nn.StateDict blobs (an octet-stream
+// body on /v1/models/{id}/checkpoint), everything else as JSON.
+package dmsapi
+
+import (
+	"time"
+
+	"fairdms/internal/codec"
+)
+
+// API paths served by Server and called by Client.
+const (
+	PathIngest     = "/v1/data/ingest"
+	PathCertainty  = "/v1/data/certainty"
+	PathLookup     = "/v1/data/lookup"
+	PathNearest    = "/v1/data/nearest"
+	PathPDF        = "/v1/data/pdf"
+	PathModels     = "/v1/models"
+	PathRecommend  = "/v1/models/recommend"
+	PathCheckpoint = "/v1/models/{id}/checkpoint"
+	PathHealth     = "/healthz"
+	PathStats      = "/statsz"
+)
+
+// Sample is the wire form of a codec.Sample. Data holds the little-endian
+// element payload and rides JSON's native []byte base64 encoding.
+type Sample struct {
+	Shape []int     `json:"shape"`
+	Dtype uint8     `json:"dtype"`
+	Data  []byte    `json:"data"`
+	Label []float64 `json:"label,omitempty"`
+}
+
+// FromCodec converts a codec.Sample to its wire form (sharing backing
+// arrays; the caller must not mutate the original until the wire value is
+// serialized).
+func FromCodec(s *codec.Sample) Sample {
+	return Sample{Shape: s.Shape, Dtype: uint8(s.Dtype), Data: s.Data, Label: s.Label}
+}
+
+// ToCodec converts a wire sample back to a codec.Sample.
+func (s Sample) ToCodec() *codec.Sample {
+	return &codec.Sample{Shape: s.Shape, Dtype: codec.Dtype(s.Dtype), Data: s.Data, Label: s.Label}
+}
+
+// FromCodecSlice converts a batch of codec samples to wire form.
+func FromCodecSlice(ss []*codec.Sample) []Sample {
+	out := make([]Sample, len(ss))
+	for i, s := range ss {
+		out[i] = FromCodec(s)
+	}
+	return out
+}
+
+// ToCodecSlice converts a batch of wire samples to codec form.
+func ToCodecSlice(ss []Sample) []*codec.Sample {
+	out := make([]*codec.Sample, len(ss))
+	for i := range ss {
+		out[i] = ss[i].ToCodec()
+	}
+	return out
+}
+
+// IngestRequest is the body of POST /v1/data/ingest: labeled samples to
+// embed, cluster-assign, and store under a dataset tag.
+type IngestRequest struct {
+	Dataset string   `json:"dataset"`
+	Samples []Sample `json:"samples"`
+}
+
+// IngestResponse returns the stored document IDs, in input order.
+type IngestResponse struct {
+	IDs []string `json:"ids"`
+}
+
+// CertaintyRequest is the body of POST /v1/data/certainty: the §III-I
+// fuzzy-clustering certainty of a dataset at a membership threshold.
+type CertaintyRequest struct {
+	Samples   []Sample `json:"samples"`
+	Threshold float64  `json:"threshold"`
+}
+
+// CertaintyResponse carries the certainty in [0, 1].
+type CertaintyResponse struct {
+	Certainty float64 `json:"certainty"`
+}
+
+// LookupRequest is the body of POST /v1/data/lookup: unlabeled samples for
+// which PDF-matched labeled historical data should be retrieved.
+type LookupRequest struct {
+	Samples []Sample `json:"samples"`
+}
+
+// LookupResponse returns the retrieved labeled samples.
+type LookupResponse struct {
+	Samples []Sample `json:"samples"`
+}
+
+// NearestRequest is the body of POST /v1/data/nearest: per-sample
+// nearest-labeled-neighbor matching. With Distinct, each historical
+// document is matched at most once (greedy, in input order).
+type NearestRequest struct {
+	Samples  []Sample `json:"samples"`
+	Distinct bool     `json:"distinct,omitempty"`
+}
+
+// Match is one nearest-neighbor result. Found is false when the sample's
+// cluster holds no eligible documents (Dist is meaningless then; the
+// in-process API's +Inf does not survive JSON).
+type Match struct {
+	DocID string  `json:"doc_id,omitempty"`
+	Dist  float64 `json:"dist"`
+	Found bool    `json:"found"`
+}
+
+// NearestResponse returns one match per input sample, in order.
+type NearestResponse struct {
+	Matches []Match `json:"matches"`
+}
+
+// PDFRequest is the body of POST /v1/data/pdf: compute the cluster
+// probability distribution of a dataset — the signature fairMS indexes
+// models by.
+type PDFRequest struct {
+	Samples []Sample `json:"samples"`
+}
+
+// PDFResponse carries the dataset PDF over the service's K clusters.
+type PDFResponse struct {
+	PDF []float64 `json:"pdf"`
+	K   int       `json:"k"`
+}
+
+// AddModelRequest is the body of POST /v1/models: register a checkpoint
+// under ID with the PDF of its training data. State is a gob-encoded
+// nn.StateDict (nn.StateDict.Bytes).
+type AddModelRequest struct {
+	ID    string            `json:"id"`
+	PDF   []float64         `json:"pdf"`
+	Meta  map[string]string `json:"meta,omitempty"`
+	State []byte            `json:"state"`
+}
+
+// ModelInfo summarizes one zoo entry (no weights).
+type ModelInfo struct {
+	ID      string            `json:"id"`
+	K       int               `json:"k"` // cluster count of the training PDF
+	Meta    map[string]string `json:"meta,omitempty"`
+	AddedAt time.Time         `json:"added_at"`
+}
+
+// ModelsResponse is the body of GET /v1/models: zoo entries in insertion
+// order.
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+// RecommendRequest is the body of POST /v1/models/recommend. MaxJSD > 0
+// applies the paper's distance threshold: a best model farther than MaxJSD
+// yields OK=false (train from scratch). MaxJSD == 0 means no threshold.
+type RecommendRequest struct {
+	PDF    []float64 `json:"pdf"`
+	MaxJSD float64   `json:"max_jsd,omitempty"`
+}
+
+// RecommendResponse names the best foundation model and its divergence.
+// OK is false when the zoo holds no compatible model or the best one is
+// beyond MaxJSD.
+type RecommendResponse struct {
+	ID  string  `json:"id,omitempty"`
+	JSD float64 `json:"jsd"`
+	OK  bool    `json:"ok"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	K       int    `json:"k"`       // fitted cluster count (0 = awaiting bootstrap)
+	Models  int    `json:"models"`  // zoo entries
+	Samples int    `json:"samples"` // labeled samples in the data store
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Stats is the body of GET /statsz: a point-in-time snapshot of server
+// counters.
+type Stats struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	InFlight      int                      `json:"in_flight"`
+	Shed          int64                    `json:"shed"` // 429s returned
+	Requests      int64                    `json:"requests"`
+	Cache         CacheStats               `json:"cache"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// CacheStats reports coalescing-cache effectiveness.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"` // callers that piggybacked on an in-flight compute
+	Size      int   `json:"size"`
+	Evictions int64 `json:"evictions"`
+}
+
+// EndpointStats reports per-endpoint request counters.
+type EndpointStats struct {
+	Count     int64   `json:"count"`
+	Errors    int64   `json:"errors"`
+	TotalMS   float64 `json:"total_ms"`
+	MaxMS     float64 `json:"max_ms"`
+	AverageMS float64 `json:"avg_ms"`
+}

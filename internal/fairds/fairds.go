@@ -192,10 +192,14 @@ func (s *Service) FitClustersK(x *tensor.Tensor, k int) error {
 	return nil
 }
 
+// ErrNotFitted is returned by lookup paths called before FitClusters; it
+// lets remote front ends distinguish "not ready yet" from internal failure.
+var ErrNotFitted = errors.New("fairds: clustering model not fitted (run FitClusters first)")
+
 // requireClusters guards lookup paths.
 func (s *Service) requireClusters() error {
 	if s.km == nil {
-		return errors.New("fairds: clustering model not fitted (run FitClusters first)")
+		return ErrNotFitted
 	}
 	return nil
 }

@@ -48,8 +48,14 @@ func NewZoo() *Zoo {
 	return &Zoo{records: make(map[string]*Record), clock: time.Now}
 }
 
+// ErrDuplicateID is wrapped by Add when the model ID is already taken,
+// letting callers (e.g. a service front end mapping to HTTP 409) tell
+// "already registered" apart from validation failures.
+var ErrDuplicateID = errors.New("fairms: duplicate model id")
+
 // Add registers a checkpoint under id with its training-data PDF. The PDF
-// must be a valid distribution; duplicate IDs are rejected.
+// must be a valid distribution; duplicate IDs are rejected with an error
+// wrapping ErrDuplicateID.
 func (z *Zoo) Add(id string, state *nn.StateDict, trainPDF stats.PDF, meta map[string]string) error {
 	if id == "" {
 		return errors.New("fairms: empty model id")
@@ -63,7 +69,7 @@ func (z *Zoo) Add(id string, state *nn.StateDict, trainPDF stats.PDF, meta map[s
 	z.mu.Lock()
 	defer z.mu.Unlock()
 	if _, dup := z.records[id]; dup {
-		return fmt.Errorf("fairms: model %q already in zoo", id)
+		return fmt.Errorf("%w: model %q already in zoo", ErrDuplicateID, id)
 	}
 	m := make(map[string]string, len(meta))
 	for k, v := range meta {
@@ -180,7 +186,10 @@ type recordSnapshot struct {
 	AddedAt  time.Time
 }
 
-// Save writes the zoo to a file.
+// Save writes the zoo to a file crash-safely: the snapshot is encoded into
+// path+".tmp", fsynced, and atomically renamed over path (mirroring
+// docstore.Store.Save), so a crash mid-write leaves the previous snapshot
+// intact instead of a truncated file.
 func (z *Zoo) Save(path string) error {
 	z.mu.RLock()
 	snap := zooSnapshot{Order: append([]string(nil), z.order...), Records: make(map[string]recordSnapshot)}
@@ -191,18 +200,37 @@ func (z *Zoo) Save(path string) error {
 	}
 	z.mu.RUnlock()
 
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("fairms: save: %w", err)
 	}
-	defer f.Close()
-	if err := encodeGob(f, &snap); err != nil {
-		return fmt.Errorf("fairms: save encode: %w", err)
+	// On any failure, remove the partial temp file; the snapshot at path
+	// (if one exists) stays untouched.
+	fail := func(stage string, err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fairms: save %s: %w", stage, err)
 	}
-	return f.Sync()
+	if err := encodeGob(f, &snap); err != nil {
+		return fail("encode", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	if err := f.Close(); err != nil {
+		return fail("flush", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fairms: save rename: %w", err)
+	}
+	return nil
 }
 
-// LoadZoo reads a zoo written by Save.
+// LoadZoo reads a zoo written by Save. Truncated or otherwise corrupt
+// snapshots are rejected with an error — and since LoadZoo never writes,
+// the file at path is left exactly as found for forensics or retry.
 func LoadZoo(path string) (*Zoo, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -213,11 +241,21 @@ func LoadZoo(path string) (*Zoo, error) {
 	if err := decodeGob(f, &snap); err != nil {
 		return nil, fmt.Errorf("fairms: load decode: %w", err)
 	}
+	if len(snap.Order) != len(snap.Records) {
+		return nil, fmt.Errorf("fairms: snapshot order lists %d records, map holds %d",
+			len(snap.Order), len(snap.Records))
+	}
 	z := NewZoo()
 	for _, id := range snap.Order {
 		rs, ok := snap.Records[id]
 		if !ok {
 			return nil, fmt.Errorf("fairms: snapshot order references missing record %q", id)
+		}
+		if rs.State == nil {
+			return nil, fmt.Errorf("fairms: snapshot record %q has no weights", id)
+		}
+		if err := stats.PDF(rs.TrainPDF).Validate(); err != nil {
+			return nil, fmt.Errorf("fairms: snapshot record %q: %w", id, err)
 		}
 		z.records[id] = &Record{
 			ID: id, State: rs.State, TrainPDF: rs.TrainPDF,

@@ -1,0 +1,147 @@
+package fairms
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fairdms/internal/stats"
+)
+
+// TestLoadRejectsTruncatedSnapshot corrupts a saved zoo by truncation and
+// checks that LoadZoo fails cleanly — and leaves the file on disk exactly
+// as found rather than clobbering it.
+func TestLoadRejectsTruncatedSnapshot(t *testing.T) {
+	z := NewZoo()
+	if err := z.Add("m1", dummyState(1), stats.PDF{0.25, 0.75}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Add("m2", dummyState(2), stats.PDF{0.5, 0.5}, nil); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "zoo.gob")
+	if err := z.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cut := range []int{1, len(full) / 2, len(full) - 1} {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadZoo(path); err == nil {
+			t.Fatalf("truncated snapshot (%d of %d bytes) loaded without error", cut, len(full))
+		}
+		after, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(after) != cut {
+			t.Fatal("failed load modified the snapshot file")
+		}
+	}
+
+	// Garbage bytes are rejected too.
+	if err := os.WriteFile(path, []byte("not a gob stream at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadZoo(path); err == nil {
+		t.Fatal("garbage snapshot loaded without error")
+	}
+}
+
+// TestSaveIsAtomicOverExistingSnapshot checks the tmp+rename discipline:
+// saving over an existing snapshot never leaves a temp file behind, and the
+// result is a complete, loadable snapshot of the new state.
+func TestSaveIsAtomicOverExistingSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "zoo.gob")
+
+	z := NewZoo()
+	if err := z.Add("m1", dummyState(1), stats.PDF{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Add("m2", dummyState(2), stats.PDF{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind after save")
+	}
+	loaded, err := LoadZoo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d records, want 2", loaded.Len())
+	}
+}
+
+// TestSaveFailureLeavesOriginal points Save at a path whose temp file
+// cannot be created and checks the existing snapshot survives.
+func TestSaveFailureLeavesOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "zoo.gob")
+	z := NewZoo()
+	if err := z.Add("m1", dummyState(1), stats.PDF{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A directory at the temp path blocks os.Create(path + ".tmp").
+	if err := os.Mkdir(path+".tmp", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Save(path); err == nil {
+		t.Fatal("expected save failure when temp path is unavailable")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(orig) {
+		t.Fatal("failed save modified the existing snapshot")
+	}
+}
+
+// TestLoadRejectsInvalidRecords feeds structurally decodable but invalid
+// snapshots through the save path by constructing them directly.
+func TestLoadRejectsInvalidRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "zoo.gob")
+
+	// A record with an invalid PDF (sums to 1.4) must be rejected.
+	z := NewZoo()
+	z.records["bad"] = &Record{ID: "bad", State: dummyState(1), TrainPDF: stats.PDF{0.7, 0.7}}
+	z.order = append(z.order, "bad")
+	if err := z.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadZoo(path); err == nil {
+		t.Fatal("snapshot with invalid PDF loaded without error")
+	}
+
+	// A record with no weights must be rejected.
+	z = NewZoo()
+	z.records["hollow"] = &Record{ID: "hollow", State: nil, TrainPDF: stats.PDF{1}}
+	z.order = append(z.order, "hollow")
+	if err := z.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadZoo(path); err == nil {
+		t.Fatal("snapshot with nil state loaded without error")
+	}
+}

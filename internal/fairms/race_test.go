@@ -1,0 +1,90 @@
+package fairms
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"fairdms/internal/stats"
+)
+
+// TestZooConcurrentUse hammers one zoo with concurrent Add, Recommend,
+// Rank, Get, IDs, and Save callers. The zoo is documented as safe for
+// concurrent use; under -race this test is what holds it to that.
+func TestZooConcurrentUse(t *testing.T) {
+	z := NewZoo()
+	if err := z.Add("seed", dummyState(0), stats.PDF{0.5, 0.5}, nil); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	query := stats.PDF{0.6, 0.4}
+
+	const workers = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch i % 5 {
+				case 0:
+					pdf := stats.PDF{float64(i%10+1) / 20, 1 - float64(i%10+1)/20}
+					id := fmt.Sprintf("w%d-i%d", w, i)
+					if err := z.Add(id, dummyState(int64(w*1000+i)), pdf, map[string]string{"w": fmt.Sprint(w)}); err != nil {
+						errs <- err
+					}
+				case 1:
+					if _, err := z.Recommend(query); err != nil {
+						errs <- err
+					}
+				case 2:
+					ranked, err := z.Rank(query)
+					if err != nil {
+						errs <- err
+					}
+					for j := 1; j < len(ranked); j++ {
+						if ranked[j].JSD < ranked[j-1].JSD {
+							errs <- fmt.Errorf("rank order broken under concurrency")
+						}
+					}
+				case 3:
+					for _, id := range z.IDs() {
+						if _, err := z.Get(id); err != nil {
+							errs <- err
+						}
+					}
+				case 4:
+					// Per-worker path: Save itself must tolerate concurrent
+					// mutation; distinct paths keep the tmp+rename dance of
+					// different workers from interleaving on one file.
+					if err := z.Save(filepath.Join(dir, fmt.Sprintf("zoo-%d.gob", w))); err != nil {
+						errs <- err
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every successful Add is visible and every saved snapshot loads.
+	want := 1 + workers*(iters/5) // seed + each worker's case-0 adds (i = 0,5,10,15,20 → 5 per worker)
+	if z.Len() != want {
+		t.Fatalf("zoo holds %d records, want %d", z.Len(), want)
+	}
+	for w := 0; w < workers; w++ {
+		loaded, err := LoadZoo(filepath.Join(dir, fmt.Sprintf("zoo-%d.gob", w)))
+		if err != nil {
+			t.Fatalf("snapshot from worker %d: %v", w, err)
+		}
+		if loaded.Len() == 0 {
+			t.Fatalf("worker %d snapshot is empty", w)
+		}
+	}
+}
