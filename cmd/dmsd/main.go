@@ -10,11 +10,18 @@
 // clustering module is bootstrap-fitted on it), and a fairms.Zoo that can
 // be snapshot-loaded at startup and is snapshot-saved at exit.
 //
+// At startup the daemon warms the in-process vector index from the store's
+// persisted embeddings (no embedder pass needed), so a daemon adopting a
+// pre-populated dstore serves nearest-label queries from memory from the
+// first request instead of scanning the store over the wire until a
+// reindex.
+//
 // Usage:
 //
 //	dmsd [-addr host:port] [-store addr] [-collection name] [-zoo path]
 //	     [-k 8] [-embed-dim 8] [-embed-hidden 64] [-embed-scale 1]
-//	     [-seed 1] [-max-inflight 64] [-cache 128] [-v]
+//	     [-seed 1] [-max-inflight 64] [-cache 128]
+//	     [-vecindex flat|ivf|off] [-nprobe 4] [-v]
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"fairdms/internal/fairds"
 	"fairdms/internal/fairms"
 	"fairdms/internal/tensor"
+	"fairdms/internal/vecindex"
 )
 
 // lazyEmbedder defers constructing the embedding model until the first
@@ -82,6 +90,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "determinism seed for embedder init and sampling")
 	maxInflight := flag.Int("max-inflight", 64, "in-flight request bound before 429 shedding (<0 = unlimited)")
 	cacheSize := flag.Int("cache", 128, "LRU capacity for hot recommend/PDF results (<0 = coalescing only)")
+	indexKind := flag.String("vecindex", "flat", "nearest-label vector index: flat (exact), ivf (approximate, sublinear), off (store scans)")
+	nprobe := flag.Int("nprobe", 4, "IVF sublists probed per query (higher = more accurate, slower)")
 	verbose := flag.Bool("v", false, "log request failures")
 	flag.Parse()
 
@@ -98,11 +108,34 @@ func main() {
 		backend = docstore.NewStore().Collection(*collection)
 	}
 
+	dsCfg := fairds.Config{Seed: *seed}
+	switch *indexKind {
+	case "flat":
+		dsCfg.Index = vecindex.NewFlat()
+	case "ivf":
+		dsCfg.Index = vecindex.NewIVF(vecindex.IVFConfig{NProbe: *nprobe, Seed: *seed})
+	case "off":
+		dsCfg.DisableIndex = true
+	default:
+		log.Fatalf("dmsd: unknown -vecindex %q (want flat, ivf, or off)", *indexKind)
+	}
 	ds, err := fairds.New(&lazyEmbedder{
 		seed: *seed, hidden: *embedHidden, dim: *embedDim, scale: *embedScale,
-	}, backend, fairds.Config{Seed: *seed})
+	}, backend, dsCfg)
 	if err != nil {
 		log.Fatalf("dmsd: building data service: %v", err)
+	}
+	if !dsCfg.DisableIndex {
+		// Warm from the store's persisted embeddings: a daemon adopting a
+		// pre-populated store answers nearest-label queries from memory
+		// immediately. Non-fatal — a failed warm just leaves the store-scan
+		// fallback in place.
+		if n, err := ds.WarmIndex(); err != nil {
+			log.Printf("dmsd: warming vector index: %v (store-scan fallback stays active)", err)
+		} else if n > 0 || ds.CorruptEmbeddings() > 0 {
+			log.Printf("dmsd: vector index (%s) warmed with %d stored embeddings (%d corrupt skipped)",
+				*indexKind, n, ds.CorruptEmbeddings())
+		}
 	}
 
 	zoo := fairms.NewZoo()

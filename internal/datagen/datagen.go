@@ -12,7 +12,10 @@
 //   - Tomography: 16-bit phantom slices (nested ellipses) with dose-
 //     dependent Poisson noise, used by the storage study.
 //
-// All generators are deterministic given their *rand.Rand.
+// All generators are deterministic given their *rand.Rand. Generated
+// samples are codec.Samples, so they flow unchanged into
+// fairds.IngestLabeled, the dataloader pipeline, and the models in
+// internal/models; every example under examples/ starts here.
 package datagen
 
 import (

@@ -4,6 +4,10 @@
 // that fans batch fetches out across worker goroutines with bounded
 // prefetch, hiding storage latency behind compute — exactly the mechanism
 // whose batch-size and worker-count sensitivity Figs. 6–8 measure.
+//
+// Datasets are backed by internal/docstore collections or
+// internal/filestore directories (see datasets.go); examples/storagebench
+// runs the full sweep.
 package dataloader
 
 import (

@@ -541,6 +541,42 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
+// TestStatsReportsVectorIndex checks that /statsz surfaces the data
+// service's vector-index counters: after an ingest and a nearest query,
+// the index must be enabled, ready, sized to the store, and credited with
+// the query.
+func TestStatsReportsVectorIndex(t *testing.T) {
+	_, client := startServer(t, ServerConfig{})
+	a, _ := twoRegimes(21, 32)
+	if _, err := client.Ingest("regime-a", a); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := client.Nearest(a[:4], false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 4 || !matches[0].Found {
+		t.Fatalf("nearest = %+v", matches)
+	}
+	st, err := client.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := st.Index
+	if !idx.Enabled || !idx.Ready {
+		t.Fatalf("index should be enabled and ready: %+v", idx)
+	}
+	if idx.Size != len(a) {
+		t.Fatalf("index size = %d, want %d", idx.Size, len(a))
+	}
+	if idx.Hits == 0 || idx.Misses != 0 || idx.Probed == 0 {
+		t.Fatalf("nearest query should have hit the index: %+v", idx)
+	}
+	if idx.Corrupt != 0 {
+		t.Fatalf("unexpected corrupt count: %+v", idx)
+	}
+}
+
 // TestWireSampleRoundTrip pins the Sample wire conversion.
 func TestWireSampleRoundTrip(t *testing.T) {
 	a, _ := twoRegimes(11, 1)

@@ -278,13 +278,26 @@ func (s *Server) Stats() Stats {
 		}
 		eps[name] = ep
 	}
+	// IndexStats is atomically counted inside the data service, so no dsMu
+	// here — /statsz answers even during a bootstrap fit.
+	is := s.cfg.DS.IndexStats()
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		InFlight:      int(s.inFlight.Load()),
 		Shed:          s.shed.Load(),
 		Requests:      s.requests.Load(),
 		Cache:         s.cache.stats(),
-		Endpoints:     eps,
+		Index: IndexStats{
+			Enabled:     is.Enabled,
+			Ready:       is.Ready,
+			Size:        is.Size,
+			Hits:        is.Hits,
+			Misses:      is.Misses,
+			Probed:      is.Probed,
+			ListsProbed: is.ListsProbed,
+			Corrupt:     is.Corrupt,
+		},
+		Endpoints: eps,
 	}
 }
 

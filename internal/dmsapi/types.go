@@ -209,7 +209,25 @@ type Stats struct {
 	Shed          int64                    `json:"shed"` // 429s returned
 	Requests      int64                    `json:"requests"`
 	Cache         CacheStats               `json:"cache"`
+	Index         IndexStats               `json:"index"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// IndexStats reports the data service's vector-index coverage and
+// effectiveness (the wire form of fairds.IndexStats). Hits are
+// nearest-label queries answered by the in-process index, Misses fell back
+// to a store scan, and Corrupt counts observations of stored documents
+// whose embedding or cluster fields were unusable (a cold service
+// re-observes the same document on every scan).
+type IndexStats struct {
+	Enabled     bool  `json:"enabled"`
+	Ready       bool  `json:"ready"`
+	Size        int   `json:"size"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Probed      int64 `json:"probed"`
+	ListsProbed int64 `json:"lists_probed"`
+	Corrupt     int64 `json:"corrupt"`
 }
 
 // CacheStats reports coalescing-cache effectiveness.

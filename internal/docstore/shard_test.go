@@ -138,11 +138,11 @@ func TestShardedConcurrentMutations(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 80; i++ {
-				if _, err := c.FindIDs(Query{Filters: []Filter{Eq("k", i % 5)}}); err != nil {
+				if _, err := c.FindIDs(Query{Filters: []Filter{Eq("k", i%5)}}); err != nil {
 					errs <- err
 					return
 				}
-				if _, err := c.CountWhere(Query{Filters: []Filter{Gte("t", float64(i % 20))}}); err != nil {
+				if _, err := c.CountWhere(Query{Filters: []Filter{Gte("t", float64(i%20))}}); err != nil {
 					errs <- err
 					return
 				}

@@ -9,13 +9,21 @@ import (
 	"fairdms/internal/datagen"
 	"fairdms/internal/docstore"
 	"fairdms/internal/tensor"
+	"fairdms/internal/vecindex"
 )
 
 // benchService builds a fitted service over n historical samples — the
 // scalability axis the paper defers to future work (§IV): how lookup cost
 // grows with store size.
 func benchService(b *testing.B, n int) (*Service, []*codec.Sample) {
+	return benchServiceCfg(b, n, Config{Seed: 2})
+}
+
+// benchServiceCfg is benchService with a caller-chosen config (cfg.Seed is
+// forced for comparability across variants).
+func benchServiceCfg(b *testing.B, n int, cfg Config) (*Service, []*codec.Sample) {
 	b.Helper()
+	cfg.Seed = 2
 	rng := rand.New(rand.NewSource(1))
 	regime := datagen.DefaultBraggRegime()
 	regime.Patch = 9
@@ -24,7 +32,7 @@ func benchService(b *testing.B, n int) (*Service, []*codec.Sample) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	svc, err := New(benchEmbedder{dim: 8}, docstore.NewStore().Collection("bench"), Config{Seed: 2})
+	svc, err := New(benchEmbedder{dim: 8}, docstore.NewStore().Collection("bench"), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -82,6 +90,42 @@ func benchLookup(b *testing.B, n int) {
 
 func BenchmarkLookupLabeled1k(b *testing.B) { benchLookup(b, 1000) }
 func BenchmarkLookupLabeled4k(b *testing.B) { benchLookup(b, 4000) }
+
+// BenchmarkNearest is the tentpole acceptance benchmark: the single-query
+// nearest-label path at store sizes 1k/10k/50k, store-scan fallback vs the
+// in-process vector indexes. The scan path re-fetches every embedding in
+// the predicted cluster from the store per query; the indexed paths probe
+// memory.
+func BenchmarkNearest(b *testing.B) {
+	configs := []struct {
+		mode string
+		cfg  Config
+	}{
+		{"scan", Config{DisableIndex: true}},
+		{"flat", Config{}},
+		{"ivf", Config{}}, // Index filled per size below — IVFs are stateful
+	}
+	for _, n := range []int{1_000, 10_000, 50_000} {
+		for _, c := range configs {
+			// IVF indexes are stateful across Add calls; give each size its
+			// own instance.
+			cfg := c.cfg
+			if c.mode == "ivf" {
+				cfg.Index = vecindex.NewIVF(vecindex.IVFConfig{NProbe: 4, Seed: 2})
+			}
+			b.Run(fmt.Sprintf("%s/n=%d", c.mode, n), func(b *testing.B) {
+				svc, query := benchServiceCfg(b, n, cfg)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, _, err := svc.NearestLabeledExcluding(query[i%len(query)], nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(n), "store-size")
+			})
+		}
+	}
+}
 
 func BenchmarkNearestMatches(b *testing.B) {
 	svc, query := benchService(b, 2000)

@@ -17,8 +17,10 @@ package fairds
 import (
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"fairdms/internal/cluster"
 	"fairdms/internal/codec"
@@ -26,6 +28,7 @@ import (
 	"fairdms/internal/embed"
 	"fairdms/internal/stats"
 	"fairdms/internal/tensor"
+	"fairdms/internal/vecindex"
 )
 
 // DataStore is the slice of docstore behaviour fairDS needs. Both a local
@@ -84,6 +87,12 @@ func (r RemoteCollection) CreateHashIndex(field string) error {
 	return r.Client.CreateHashIndex(r.Name, field)
 }
 
+// CountChecked is Count with the RPC error preserved, so callers that must
+// distinguish "empty" from "unreachable" (the New readiness decision) can.
+func (r RemoteCollection) CountChecked() (int, error) {
+	return r.Client.Count(r.Name, docstore.Query{})
+}
+
 // Count forwards to the remote collection.
 func (r RemoteCollection) Count() int {
 	n, err := r.Client.Count(r.Name, docstore.Query{})
@@ -104,6 +113,18 @@ type Config struct {
 	Fuzzifier float64
 	// Seed drives clustering and sampling determinism.
 	Seed int64
+	// Index is the in-process vector index consulted by the nearest-label
+	// paths (vecindex.NewFlat by default; pass vecindex.NewIVF for
+	// approximate sublinear probes on very large clusters). Set
+	// DisableIndex to force the store-scan path instead.
+	Index vecindex.Index
+	// DisableIndex turns the vector index off entirely: every
+	// nearest-label query scans the store. Useful as the parity and
+	// benchmark baseline.
+	DisableIndex bool
+	// Logger receives corrupt-embedding and index-maintenance warnings;
+	// nil silences them.
+	Logger *log.Logger
 }
 
 func (c *Config) defaults() {
@@ -128,6 +149,19 @@ type Service struct {
 	store    DataStore
 	km       *cluster.KMeans
 	wss      []float64 // WSS curve from the last SelectK run
+
+	// idx mirrors (doc ID, cluster, embedding) in process so nearest-label
+	// queries probe memory instead of scanning the store over the wire.
+	// idxReady reports whether the index covers the store: true from the
+	// start for a store born empty (ingests keep it current), and after
+	// WarmIndex or Reindex otherwise. While false, nearest-label queries
+	// fall back to the brute-force store scan.
+	idx      vecindex.Index
+	idxReady atomic.Bool
+
+	idxHits   atomic.Int64 // nearest-label queries answered by the index
+	idxMisses atomic.Int64 // queries that fell back to a store scan
+	corrupt   atomic.Int64 // stored embeddings rejected as corrupt
 }
 
 // New builds a data service over an embedder and a store. The clustering
@@ -143,7 +177,37 @@ func New(embedder embed.Embedder, store DataStore, cfg Config) (*Service, error)
 	if err := store.CreateHashIndex("cluster"); err != nil {
 		return nil, fmt.Errorf("fairds: indexing cluster field: %w", err)
 	}
-	return &Service{cfg: cfg, embedder: embedder, store: store}, nil
+	s := &Service{cfg: cfg, embedder: embedder, store: store}
+	if !cfg.DisableIndex {
+		s.idx = cfg.Index
+		if s.idx == nil {
+			s.idx = vecindex.NewFlat()
+		}
+		// A store that is empty at construction stays covered by ingests
+		// alone; a pre-populated one needs WarmIndex (or Reindex) first.
+		// Crucially, "empty" must not be confused with "unreachable": a
+		// remote store whose count RPC failed must start cold, or the index
+		// would confidently answer no-neighbor for every existing document.
+		s.idxReady.Store(storeKnownEmpty(store))
+	}
+	return s, nil
+}
+
+// countChecker is an optional DataStore upgrade: a Count that can report
+// failure. RemoteCollection implements it; a local *docstore.Collection
+// cannot fail and does not need to.
+type countChecker interface {
+	CountChecked() (int, error)
+}
+
+// storeKnownEmpty reports whether the store is verifiably empty —
+// errors count as "unknown", never as empty.
+func storeKnownEmpty(store DataStore) bool {
+	if cc, ok := store.(countChecker); ok {
+		n, err := cc.CountChecked()
+		return err == nil && n == 0
+	}
+	return store.Count() == 0
 }
 
 // Embedder returns the configured embedding module.
@@ -237,6 +301,19 @@ func (s *Service) IngestLabeled(samples []*codec.Sample, dataset string) ([]stri
 	ids, err := s.store.InsertMany(fields)
 	if err != nil {
 		return nil, fmt.Errorf("fairds: storing samples: %w", err)
+	}
+	// A cold index is skipped entirely: it needs a wholesale WarmIndex or
+	// Reindex anyway, and after SetEmbedder the new-dimension rows would
+	// only produce a flood of false "corrupt" rejections.
+	if s.indexReady() {
+		for i, id := range ids {
+			if err := s.idx.Add(id, assign[i], rows[i]); err != nil {
+				// The store write already succeeded; an index refusal (a
+				// dimension drift the caller never reconciled via Reindex)
+				// degrades that document to fallback-only lookup.
+				s.noteCorrupt(id, err)
+			}
+		}
 	}
 	return ids, nil
 }
@@ -357,28 +434,44 @@ func (s *Service) NearestLabeledExcluding(sample *codec.Sample, exclude map[stri
 	z := rows[0]
 	k, _ := s.km.PredictOne(z)
 
-	// Projected scan: only embeddings travel, not payloads — the store's
-	// "efficient lookup by embedding indexing" requirement (paper §II-A).
-	docs, err := s.store.Find(docstore.Query{
-		Filters: []docstore.Filter{docstore.Eq("cluster", k)},
-		Project: []string{"embedding"},
-	})
-	if err != nil {
-		return "", nil, 0, fmt.Errorf("fairds: scanning cluster %d: %w", k, err)
-	}
 	best := math.Inf(1)
 	bestID := ""
-	for _, d := range docs {
-		if exclude[d.ID] {
-			continue
+	if s.indexReady() {
+		// In-process probe: no store round trip at all. An empty exclusion
+		// set passes nil so the slab scan skips the per-vector callback.
+		s.idxHits.Add(1)
+		var excl func(string) bool
+		if len(exclude) > 0 {
+			excl = func(id string) bool { return exclude[id] }
 		}
-		emb, ok := d.F["embedding"].([]float64)
-		if !ok || len(emb) != len(z) {
-			continue
+		if res, ok := s.idx.Nearest(k, z, excl); ok {
+			best, bestID = res.Dist2, res.ID
 		}
-		if dist := tensor.SquaredDistance(z, emb); dist < best {
-			best = dist
-			bestID = d.ID
+	} else {
+		// Cold fallback — projected scan: only embeddings travel, not
+		// payloads (the paper's §II-A "efficient lookup by embedding
+		// indexing" requirement, minus the in-process index).
+		s.idxMisses.Add(1)
+		docs, err := s.store.Find(docstore.Query{
+			Filters: []docstore.Filter{docstore.Eq("cluster", k)},
+			Project: []string{"embedding"},
+		})
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("fairds: scanning cluster %d: %w", k, err)
+		}
+		for _, d := range docs {
+			if exclude[d.ID] {
+				continue
+			}
+			emb, ok := embedding(d, len(z))
+			if !ok {
+				s.noteCorrupt(d.ID, errBadEmbedding)
+				continue
+			}
+			if dist := tensor.SquaredDistance(z, emb); dist < best {
+				best = dist
+				bestID = d.ID
+			}
 		}
 	}
 	if bestID == "" {
@@ -418,13 +511,38 @@ func (s *Service) NearestMatches(samples []*codec.Sample, distinct bool) ([]Matc
 	rows := embed.EmbedRows(s.embedder, x)
 	assign := s.km.Predict(rows)
 
-	// One projected scan per distinct cluster.
+	used := make(map[string]bool)
+	out := make([]Match, len(samples))
+
+	if s.indexReady() {
+		// In-process probes: one index query per sample, no store traffic.
+		s.idxHits.Add(int64(len(samples)))
+		var exclude func(string) bool
+		if distinct {
+			exclude = func(id string) bool { return used[id] }
+		}
+		for i := range samples {
+			res, ok := s.idx.Nearest(assign[i], rows[i], exclude)
+			if !ok {
+				out[i] = Match{Dist: math.Inf(1)}
+				continue
+			}
+			if distinct {
+				used[res.ID] = true
+			}
+			out[i] = Match{DocID: res.ID, Dist: math.Sqrt(res.Dist2)}
+		}
+		return out, nil
+	}
+
+	// Cold fallback: one projected scan per distinct cluster.
+	s.idxMisses.Add(int64(len(samples)))
 	type entry struct {
 		id  string
 		emb []float64
 	}
 	clusterDocs := make(map[int][]entry)
-	for _, k := range assign {
+	for i, k := range assign {
 		if _, done := clusterDocs[k]; done {
 			continue
 		}
@@ -437,23 +555,21 @@ func (s *Service) NearestMatches(samples []*codec.Sample, distinct bool) ([]Matc
 		}
 		var entries []entry
 		for _, d := range docs {
-			if emb, ok := d.F["embedding"].([]float64); ok {
-				entries = append(entries, entry{id: d.ID, emb: emb})
+			emb, ok := embedding(d, len(rows[i]))
+			if !ok {
+				s.noteCorrupt(d.ID, errBadEmbedding)
+				continue
 			}
+			entries = append(entries, entry{id: d.ID, emb: emb})
 		}
 		clusterDocs[k] = entries
 	}
 
-	used := make(map[string]bool)
-	out := make([]Match, len(samples))
 	for i := range samples {
 		best := math.Inf(1)
 		bestID := ""
 		for _, e := range clusterDocs[assign[i]] {
 			if distinct && used[e.id] {
-				continue
-			}
-			if len(e.emb) != len(rows[i]) {
 				continue
 			}
 			if d := tensor.SquaredDistance(rows[i], e.emb); d < best {
@@ -551,18 +667,157 @@ func (s *Service) Reindex(k int) (int, error) {
 	}
 	s.km = km
 	s.wss = nil
+
+	// The vector index is rebuilt from the same refreshed embeddings and
+	// assignments, so it covers the store again even if it was cold or
+	// stale (e.g. after SetEmbedder).
+	if s.idx != nil {
+		entries := make([]vecindex.Entry, len(ids))
+		for i, id := range ids {
+			entries[i] = vecindex.Entry{ID: id, Cluster: assign[i], Vec: embeddings[i]}
+		}
+		if err := s.idx.Rebuild(entries); err != nil {
+			s.idxReady.Store(false)
+			return len(ids), fmt.Errorf("fairds: reindex vector index: %w", err)
+		}
+		s.idxReady.Store(true)
+	}
 	return len(ids), nil
 }
 
+// WarmIndex populates the in-process vector index from the store's
+// persisted embedding and cluster fields — no embedder pass needed, which
+// is what lets a freshly started daemon adopt an existing store cheaply.
+// Documents whose fields are missing, mistyped, or of the wrong
+// dimensionality are counted as corrupt and skipped (the brute-force scan
+// would skip them too). Returns the number of vectors indexed. A no-op
+// returning 0 when the index is disabled. Complete the warm before serving
+// ingests: a cold service skips index maintenance, so documents ingested
+// while WarmIndex is mid-flight may miss both its snapshot and the index.
+func (s *Service) WarmIndex() (int, error) {
+	if s.idx == nil {
+		return 0, nil
+	}
+	docs, err := s.store.Find(docstore.Query{Project: []string{"embedding", "cluster"}})
+	if err != nil {
+		return 0, fmt.Errorf("fairds: warming index: %w", err)
+	}
+	dim := s.embedder.Dim()
+	entries := make([]vecindex.Entry, 0, len(docs))
+	for _, d := range docs {
+		emb, ok := embedding(d, dim)
+		if !ok {
+			s.noteCorrupt(d.ID, errBadEmbedding)
+			continue
+		}
+		k, ok := d.F["cluster"].(int64)
+		if !ok || k < 0 {
+			s.noteCorrupt(d.ID, errBadCluster)
+			continue
+		}
+		entries = append(entries, vecindex.Entry{ID: d.ID, Cluster: int(k), Vec: emb})
+	}
+	if err := s.idx.Rebuild(entries); err != nil {
+		return 0, fmt.Errorf("fairds: warming index: %w", err)
+	}
+	s.idxReady.Store(true)
+	return len(entries), nil
+}
+
 // SetEmbedder swaps the embedding module (e.g. after system-plane
-// retraining). Callers must Reindex afterwards so stored embeddings and
-// cluster assignments match the new model.
+// retraining). Callers must Reindex afterwards so stored embeddings,
+// cluster assignments, and the vector index match the new model; until
+// then the vector index is marked cold and lookups fall back to scanning
+// the store.
 func (s *Service) SetEmbedder(e embed.Embedder) error {
 	if e == nil {
 		return errors.New("fairds: nil embedder")
 	}
 	s.embedder = e
+	s.idxReady.Store(false)
 	return nil
+}
+
+// indexReady reports whether the vector index can answer for the whole
+// store.
+func (s *Service) indexReady() bool {
+	return s.idx != nil && s.idxReady.Load()
+}
+
+// IndexStats describes the vector index's coverage and effectiveness — the
+// fairDS slice of the /statsz payload.
+type IndexStats struct {
+	// Enabled is false when the service was built with DisableIndex.
+	Enabled bool `json:"enabled"`
+	// Ready reports whether the index covers the store (queries probe it);
+	// false means nearest-label queries are falling back to store scans.
+	Ready bool `json:"ready"`
+	// Size is the number of indexed vectors.
+	Size int `json:"size"`
+	// Hits counts nearest-label queries answered by the index; Misses
+	// counts queries that fell back to a store scan.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Probed counts vectors distance-compared by the index and ListsProbed
+	// the partitions visited; Probed/Hits is the mean in-memory scan width.
+	Probed      int64 `json:"probed"`
+	ListsProbed int64 `json:"lists_probed"`
+	// Corrupt counts corrupt-document observations: every time a scan,
+	// warm, or index add encounters a document whose embedding or cluster
+	// fields are missing, mistyped, or of the wrong dimensionality — data
+	// that silently degraded lookups before it was counted. A cold service
+	// re-observes the same document on every scan, so treat this as a
+	// rate signal, not a distinct-document census.
+	Corrupt int64 `json:"corrupt"`
+}
+
+// IndexStats snapshots the vector-index counters. Safe to call
+// concurrently with queries and ingests.
+func (s *Service) IndexStats() IndexStats {
+	st := IndexStats{
+		Enabled: s.idx != nil,
+		Ready:   s.indexReady(),
+		Hits:    s.idxHits.Load(),
+		Misses:  s.idxMisses.Load(),
+		Corrupt: s.corrupt.Load(),
+	}
+	if s.idx != nil {
+		// Index-level Rejected is not folded in: every rejected Add already
+		// passed through noteCorrupt, so Corrupt covers it.
+		is := s.idx.Stats()
+		st.Size = is.Size
+		st.Probed = is.Probed
+		st.ListsProbed = is.ListsProbed
+	}
+	return st
+}
+
+// CorruptEmbeddings reports how many times a stored document with corrupt
+// embedding or cluster fields has been observed since the service started
+// (see IndexStats.Corrupt for the exact counting semantics).
+func (s *Service) CorruptEmbeddings() int64 { return s.corrupt.Load() }
+
+var (
+	errBadEmbedding = errors.New("embedding field missing, mistyped, or of the wrong dimensionality")
+	errBadCluster   = errors.New("cluster field missing, mistyped, or negative")
+)
+
+// noteCorrupt counts (and, with a Logger, reports) a document whose
+// stored fields cannot participate in nearest-label lookup. Before this
+// accounting such documents were silently skipped, which made data
+// corruption look like "no close neighbor".
+func (s *Service) noteCorrupt(id string, why error) {
+	s.corrupt.Add(1)
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("fairds: corrupt document %s: %v", id, why)
+	}
+}
+
+// embedding extracts a document's embedding field, requiring the expected
+// dimensionality.
+func embedding(d *docstore.Doc, dim int) ([]float64, bool) {
+	emb, ok := d.F["embedding"].([]float64)
+	return emb, ok && len(emb) == dim
 }
 
 // decodeDoc decodes the payload field of a stored document.

@@ -4,6 +4,10 @@
 // running independent actions concurrently, retrying failed actions, and
 // recording per-action state and timing. Actions communicate through a
 // thread-safe key/value RunContext.
+//
+// Flows orchestrate work executed on funcx endpoints and moved by
+// transfer links; internal/experiments composes all three into the
+// paper's end-to-end facility→HPC workflow timings.
 package flow
 
 import (

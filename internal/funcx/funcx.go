@@ -3,6 +3,9 @@
 // once, then submitted for asynchronous execution on named endpoints —
 // bounded worker pools that model the compute sites (beamline edge node,
 // HPC cluster) of the end-to-end workflow. Submissions return futures.
+//
+// Pair with internal/flow (DAG orchestration) and internal/transfer
+// (simulated data movement) to model the full §III-C fabric.
 package funcx
 
 import (

@@ -5,6 +5,10 @@
 // per-task cost on the host's cores and extrapolates wall time under a
 // perfect-scaling assumption — the most favorable case for the
 // conventional baseline, making fairDMS's reported speedups conservative.
+//
+// The per-task cost it measures is the pseudo-Voigt fit from
+// internal/voigt; internal/experiments uses the extrapolations for the
+// §III-H comparison tables.
 package simcluster
 
 import (

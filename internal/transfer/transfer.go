@@ -3,6 +3,9 @@
 // over links with a configured bandwidth and latency, sleeping a scaled
 // simulated duration so end-to-end workflow timings include data-movement
 // cost. Endpoints model the experimental facility and the compute cluster.
+//
+// Pair with internal/flow and internal/funcx, which orchestrate and
+// execute the work these transfers feed.
 package transfer
 
 import (

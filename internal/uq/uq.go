@@ -2,6 +2,11 @@
 // to decide when models need attention: Monte-Carlo dropout prediction
 // intervals (Gal & Ghahramani 2016), which the paper's Fig. 2 uses to track
 // BraggNN degradation as experimental conditions drift.
+//
+// The companion trigger signal — fuzzy-clustering certainty over the
+// embedding space — lives in internal/cluster and is exposed through
+// fairds.Service.Certainty; examples/hedm wires both into the full
+// monitor-and-refresh loop.
 package uq
 
 import (

@@ -1,0 +1,74 @@
+package vecindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchIndex populates idx with n 8-dimensional vectors in one cluster —
+// the worst case for a per-cluster index, and the shape of a skewed
+// experiment where most history lands in one regime.
+func benchIndex(b *testing.B, idx Index, n int) []float64 {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	for _, e := range randEntries(rng, n, 8, 1) {
+		if err := idx.Add(e.ID, e.Cluster, e.Vec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := make([]float64, 8)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+	}
+	return q
+}
+
+func BenchmarkNearestFlat(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 50_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			idx := NewFlat()
+			q := benchIndex(b, idx, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := idx.Nearest(0, q, nil); !ok {
+					b.Fatal("no result")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNearestIVF(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 50_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			idx := NewIVF(IVFConfig{SplitThreshold: 512, NProbe: 4, Seed: 3})
+			q := benchIndex(b, idx, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := idx.Nearest(0, q, nil); !ok {
+					b.Fatal("no result")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAddFlat(b *testing.B) {
+	idx := NewFlat()
+	rng := rand.New(rand.NewSource(2))
+	vecs := make([][]float64, 1024)
+	for i := range vecs {
+		v := make([]float64, 8)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		vecs[i] = v
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.Add(fmt.Sprintf("doc-%d", i), i%16, vecs[i%len(vecs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
