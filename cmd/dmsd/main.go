@@ -20,7 +20,7 @@
 //
 //	dmsd [-addr host:port] [-store addr] [-collection name] [-zoo path]
 //	     [-k 8] [-embed-dim 8] [-embed-hidden 64] [-embed-scale 1]
-//	     [-seed 1] [-max-inflight 64] [-cache 128]
+//	     [-seed 1] [-max-inflight 64] [-cache 128] [-max-batch 8192]
 //	     [-vecindex flat|ivf|off] [-nprobe 4] [-v]
 package main
 
@@ -90,6 +90,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "determinism seed for embedder init and sampling")
 	maxInflight := flag.Int("max-inflight", 64, "in-flight request bound before 429 shedding (<0 = unlimited)")
 	cacheSize := flag.Int("cache", 128, "LRU capacity for hot recommend/PDF results (<0 = coalescing only)")
+	maxBatch := flag.Int("max-batch", 8192, "documents per ingest:batch request before 413 (<0 = unlimited)")
 	indexKind := flag.String("vecindex", "flat", "nearest-label vector index: flat (exact), ivf (approximate, sublinear), off (store scans)")
 	nprobe := flag.Int("nprobe", 4, "IVF sublists probed per query (higher = more accurate, slower)")
 	verbose := flag.Bool("v", false, "log request failures")
@@ -163,10 +164,11 @@ func main() {
 	}
 	srv, err := dmsapi.NewServer(dmsapi.ServerConfig{
 		DS: ds, Zoo: zoo,
-		MaxInFlight: *maxInflight,
-		CacheSize:   *cacheSize,
-		BootstrapK:  *k,
-		Logger:      logger,
+		MaxInFlight:  *maxInflight,
+		CacheSize:    *cacheSize,
+		MaxBatchDocs: *maxBatch,
+		BootstrapK:   *k,
+		Logger:       logger,
 	})
 	if err != nil {
 		log.Fatalf("dmsd: %v", err)

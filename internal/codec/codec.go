@@ -96,8 +96,17 @@ func (s *Sample) Validate() error {
 // Floats decodes the payload into float64s (allocating), the form model
 // training consumes.
 func (s *Sample) Floats() []float64 {
+	out := make([]float64, s.Elems())
+	s.FloatsInto(out)
+	return out
+}
+
+// FloatsInto decodes the payload into dst, which must hold Elems() values —
+// the allocation-free form batch pipelines use when collating thousands of
+// samples into pre-sized tensor rows.
+func (s *Sample) FloatsInto(dst []float64) {
 	n := s.Elems()
-	out := make([]float64, n)
+	out := dst[:n]
 	switch s.Dtype {
 	case U8:
 		for i := 0; i < n; i++ {
@@ -116,7 +125,6 @@ func (s *Sample) Floats() []float64 {
 			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(s.Data[8*i:]))
 		}
 	}
-	return out
 }
 
 // SampleFromFloats builds a sample of the given dtype from float64 values,
@@ -289,6 +297,12 @@ type Block struct {
 	BlockSize int
 	// Level is the flate level; 0 means flate.BestSpeed.
 	Level int
+	// MinCompress is the smallest block worth running DEFLATE on; smaller
+	// blocks are stored shuffled-but-raw. Building a dynamic Huffman tree
+	// costs tens of microseconds and, on sub-KiB float detector payloads,
+	// usually *expands* the data — c-blosc's memcpy fallback exists for the
+	// same reason. 0 means 1 KiB; negative means always try to compress.
+	MinCompress int
 }
 
 // Name returns "blosc".
@@ -308,56 +322,140 @@ func (c Block) level() int {
 	return flate.BestSpeed
 }
 
+func (c Block) minCompress() int {
+	if c.MinCompress != 0 {
+		return c.MinCompress
+	}
+	return 1 << 10
+}
+
+// storedFlag marks an entry of the per-block size table as stored (raw)
+// rather than DEFLATE-compressed. Block sizes are bounded by BlockSize, so
+// bit 31 is always free. Frames written before this flag existed decode
+// unchanged (flag unset = compressed).
+const storedFlag = 1 << 31
+
+// flateWriters pools *flate.Writer instances per compression level: each
+// NewWriter allocates ~1.5 MB of hash-table state, which made per-document
+// Encode calls GC-bound on high-rate ingest (the allocation profile of a
+// 1k-document batch was >98% flate.NewWriter). Reset reuses that state.
+var flateWriters sync.Map // int (level) -> *sync.Pool of *flate.Writer
+
+func acquireFlateWriter(dst io.Writer, level int) (*flate.Writer, error) {
+	if p, ok := flateWriters.Load(level); ok {
+		if w, _ := p.(*sync.Pool).Get().(*flate.Writer); w != nil {
+			w.Reset(dst)
+			return w, nil
+		}
+	}
+	return flate.NewWriter(dst, level)
+}
+
+func releaseFlateWriter(level int, w *flate.Writer) {
+	p, _ := flateWriters.LoadOrStore(level, &sync.Pool{})
+	p.(*sync.Pool).Put(w)
+}
+
+// flateReaders pools decompressors the same way (NewReader allocates a
+// ~32 KiB window plus decode tables per call).
+var flateReaders sync.Pool
+
+func acquireFlateReader(src io.Reader) io.ReadCloser {
+	if r, _ := flateReaders.Get().(io.ReadCloser); r != nil {
+		r.(flate.Resetter).Reset(src, nil)
+		return r
+	}
+	return flate.NewReader(src)
+}
+
+// encodeBlock compresses one shuffled block with a pooled writer, falling
+// back to storing it raw when compression cannot pay: blocks under
+// MinCompress skip DEFLATE entirely, and a compressed result at least as
+// large as the input is discarded for the raw bytes.
+func (c Block) encodeBlock(chunk []byte) (cb []byte, stored bool, err error) {
+	if mc := c.minCompress(); mc > 0 && len(chunk) < mc {
+		return chunk, true, nil
+	}
+	var buf bytes.Buffer
+	w, err := acquireFlateWriter(&buf, c.level())
+	if err != nil {
+		return nil, false, err
+	}
+	if _, err := w.Write(chunk); err != nil {
+		return nil, false, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, false, err
+	}
+	releaseFlateWriter(c.level(), w)
+	if buf.Len() >= len(chunk) {
+		return chunk, true, nil
+	}
+	return buf.Bytes(), false, nil
+}
+
 // Encode shuffles and compresses the payload.
 func (c Block) Encode(s *Sample) ([]byte, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	shuffled := shuffleBytes(s.Data, s.Dtype.Size())
+	// The shuffled view is transient (the frame assembly below copies out
+	// of it), so byte-wide dtypes use the payload directly and wider ones a
+	// pooled scratch buffer — no per-document allocation either way.
+	var shuffled []byte
+	if width := s.Dtype.Size(); width <= 1 {
+		shuffled = s.Data
+	} else {
+		scratch := acquireShuffleBuf(len(s.Data))
+		defer shuffleBufs.Put(scratch)
+		shuffled = (*scratch)[:len(s.Data)]
+		shuffleBytesInto(shuffled, s.Data, width)
+	}
 	bs := c.blockSize()
 	nblocks := (len(shuffled) + bs - 1) / bs
 	if nblocks == 0 {
 		nblocks = 1
 	}
 	comp := make([][]byte, nblocks)
-	var wg sync.WaitGroup
-	errs := make([]error, nblocks)
-	for i := 0; i < nblocks; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			lo := i * bs
-			hi := lo + bs
-			if hi > len(shuffled) {
-				hi = len(shuffled)
-			}
-			var buf bytes.Buffer
-			w, err := flate.NewWriter(&buf, c.level())
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if _, err := w.Write(shuffled[lo:hi]); err != nil {
-				errs[i] = err
-				return
-			}
-			if err := w.Close(); err != nil {
-				errs[i] = err
-				return
-			}
-			comp[i] = buf.Bytes()
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	raw := make([]bool, nblocks)
+	if nblocks == 1 {
+		// The common small-sample case: no goroutine fan-out overhead.
+		cb, stored, err := c.encodeBlock(shuffled)
 		if err != nil {
 			return nil, fmt.Errorf("codec: block encode: %w", err)
+		}
+		comp[0], raw[0] = cb, stored
+	} else {
+		var wg sync.WaitGroup
+		errs := make([]error, nblocks)
+		for i := 0; i < nblocks; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				lo := i * bs
+				hi := lo + bs
+				if hi > len(shuffled) {
+					hi = len(shuffled)
+				}
+				comp[i], raw[i], errs[i] = c.encodeBlock(shuffled[lo:hi])
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("codec: block encode: %w", err)
+			}
 		}
 	}
 
 	// Frame: header (same layout as raw) + rawLen(8) + nblocks(4) +
-	// per-block sizes + blocks.
+	// per-block sizes + blocks. Pre-sized so assembly never regrows.
+	frameLen := 3 + 8*len(s.Shape) + 2 + 8*len(s.Label) + 12 + 4*nblocks
+	for _, cb := range comp {
+		frameLen += len(cb)
+	}
 	var buf bytes.Buffer
+	buf.Grow(frameLen)
 	buf.WriteByte(rawMagic)
 	buf.WriteByte(byte(s.Dtype))
 	buf.WriteByte(byte(len(s.Shape)))
@@ -376,8 +474,12 @@ func (c Block) Encode(s *Sample) ([]byte, error) {
 	buf.Write(scratch[:])
 	binary.LittleEndian.PutUint32(scratch[:4], uint32(nblocks))
 	buf.Write(scratch[:4])
-	for _, cb := range comp {
-		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(cb)))
+	for i, cb := range comp {
+		entry := uint32(len(cb))
+		if raw[i] {
+			entry |= storedFlag
+		}
+		binary.LittleEndian.PutUint32(scratch[:4], entry)
 		buf.Write(scratch[:4])
 	}
 	for _, cb := range comp {
@@ -415,11 +517,14 @@ func (c Block) Decode(b []byte) (*Sample, error) {
 	nblocks := int(binary.LittleEndian.Uint32(b[off:]))
 	off += 4
 	sizes := make([]int, nblocks)
+	rawBlk := make([]bool, nblocks)
 	for i := range sizes {
 		if len(b) < off+4 {
 			return nil, fmt.Errorf("codec: block: truncated block table")
 		}
-		sizes[i] = int(binary.LittleEndian.Uint32(b[off:]))
+		entry := binary.LittleEndian.Uint32(b[off:])
+		rawBlk[i] = entry&storedFlag != 0
+		sizes[i] = int(entry &^ storedFlag)
 		off += 4
 	}
 	blocks := make([][]byte, nblocks)
@@ -433,29 +538,48 @@ func (c Block) Decode(b []byte) (*Sample, error) {
 
 	bs := c.blockSize()
 	shuffled := make([]byte, rawLen)
-	var wg sync.WaitGroup
-	errs := make([]error, nblocks)
-	for i := range blocks {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			lo := i * bs
-			hi := lo + bs
-			if hi > rawLen {
-				hi = rawLen
+	decodeBlock := func(i int) error {
+		lo := i * bs
+		hi := lo + bs
+		if hi > rawLen {
+			hi = rawLen
+		}
+		if rawBlk[i] {
+			if len(blocks[i]) != hi-lo {
+				return fmt.Errorf("stored block %d is %d bytes, want %d", i, len(blocks[i]), hi-lo)
 			}
-			r := flate.NewReader(bytes.NewReader(blocks[i]))
-			if _, err := io.ReadFull(r, shuffled[lo:hi]); err != nil {
-				errs[i] = err
-				return
-			}
-			errs[i] = r.Close()
-		}(i)
+			copy(shuffled[lo:hi], blocks[i])
+			return nil
+		}
+		r := acquireFlateReader(bytes.NewReader(blocks[i]))
+		if _, err := io.ReadFull(r, shuffled[lo:hi]); err != nil {
+			return err
+		}
+		if err := r.Close(); err != nil {
+			return err
+		}
+		flateReaders.Put(r)
+		return nil
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	if nblocks == 1 {
+		if err := decodeBlock(0); err != nil {
 			return nil, fmt.Errorf("codec: block decode: %w", err)
+		}
+	} else {
+		var wg sync.WaitGroup
+		errs := make([]error, nblocks)
+		for i := range blocks {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = decodeBlock(i)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("codec: block decode: %w", err)
+			}
 		}
 	}
 	s.Data = unshuffleBytes(shuffled, s.Dtype.Size())
@@ -465,6 +589,20 @@ func (c Block) Decode(b []byte) (*Sample, error) {
 	return s, nil
 }
 
+// shuffleBufs pools Encode's transient shuffle scratch: the shuffled bytes
+// live only until they are copied into the output frame, so high-rate
+// ingest would otherwise allocate (and GC) one payload-sized buffer per
+// document.
+var shuffleBufs sync.Pool
+
+func acquireShuffleBuf(n int) *[]byte {
+	if p, _ := shuffleBufs.Get().(*[]byte); p != nil && cap(*p) >= n {
+		return p
+	}
+	b := make([]byte, n)
+	return &b
+}
+
 // shuffleBytes regroups the payload so byte k of every element is
 // contiguous: Blosc's shuffle filter, which makes detector data with small
 // dynamic range highly compressible.
@@ -472,17 +610,23 @@ func shuffleBytes(data []byte, width int) []byte {
 	if width <= 1 {
 		return append([]byte(nil), data...)
 	}
-	n := len(data) / width
 	out := make([]byte, len(data))
+	shuffleBytesInto(out, data, width)
+	return out
+}
+
+// shuffleBytesInto is shuffleBytes with a caller-provided destination
+// (len(dst) >= len(data)), for pooled scratch buffers.
+func shuffleBytesInto(dst, data []byte, width int) {
+	n := len(data) / width
 	for k := 0; k < width; k++ {
 		base := k * n
 		for i := 0; i < n; i++ {
-			out[base+i] = data[i*width+k]
+			dst[base+i] = data[i*width+k]
 		}
 	}
 	// Trailing bytes (payloads not divisible by width) pass through.
-	copy(out[n*width:], data[n*width:])
-	return out
+	copy(dst[n*width:len(data)], data[n*width:])
 }
 
 // unshuffleBytes inverts shuffleBytes.

@@ -212,3 +212,66 @@ func TestF64PayloadExact(t *testing.T) {
 		}
 	}
 }
+
+func TestBlockStoredFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+
+	// Sub-MinCompress payloads skip DEFLATE and are stored shuffled-raw:
+	// output is the frame header plus exactly the raw bytes, and the
+	// round trip is lossless.
+	small := randomSample(rng, F32, []int{11, 11})
+	enc, err := Block{}.Encode(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := len(enc) - len(small.Data)
+	if overhead <= 0 || overhead > 64 {
+		t.Fatalf("stored small payload: %d bytes for %d raw (want raw + small header)", len(enc), len(small.Data))
+	}
+	back, err := Block{}.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Data, small.Data) {
+		t.Fatal("stored-block round trip corrupted payload")
+	}
+
+	// Incompressible data above MinCompress: the compression attempt runs
+	// but its larger output is discarded for the raw block, so the frame
+	// never expands beyond header overhead.
+	big := randomSample(rng, F64, []int{64, 64}) // random float64s do not compress
+	enc, err = Block{}.Encode(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) > len(big.Data)+64 {
+		t.Fatalf("incompressible payload expanded: %d bytes for %d raw", len(enc), len(big.Data))
+	}
+	back, err = Block{}.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Data, big.Data) {
+		t.Fatal("incompressible round trip corrupted payload")
+	}
+
+	// MinCompress < 0 forces the DEFLATE attempt even on tiny payloads —
+	// the compatibility knob for data that is small but redundant — and
+	// both configurations must decode each other's frames (the stored
+	// flag travels in the size table).
+	flat := SampleFromFloats(make([]float64, 121), []int{11, 11}, U16, nil)
+	forced, err := Block{MinCompress: -1}.Encode(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forced) >= len(flat.Data) {
+		t.Fatalf("forced compression of all-zero payload did not shrink: %d vs %d", len(forced), len(flat.Data))
+	}
+	back, err = Block{}.Decode(forced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Data, flat.Data) {
+		t.Fatal("cross-config round trip corrupted payload")
+	}
+}

@@ -1,0 +1,187 @@
+package dmsapi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fairdms/internal/codec"
+)
+
+// BatchIngesterConfig tunes a BatchIngester. The zero value picks sensible
+// defaults.
+type BatchIngesterConfig struct {
+	// BatchSize is the number of documents per ingest:batch request
+	// (default 256). Keep it at or below the server's MaxBatchDocs cap.
+	BatchSize int
+	// MaxInFlight bounds concurrently outstanding batch requests (default
+	// 4). Add blocks once the bound is reached, so a producer that outruns
+	// the server backs off instead of growing an unbounded send queue.
+	MaxInFlight int
+}
+
+func (c *BatchIngesterConfig) defaults() {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+}
+
+// BatchIngester accumulates samples and ships them to the batch-ingest
+// endpoint in fixed-size batches with a bounded number of batches in
+// flight — the client half of the high-throughput ingest path, shaped for
+// the paper's streaming-frames workload: the producer keeps Add()ing while
+// up to MaxInFlight HTTP requests overlap. Add and Flush may be called
+// from multiple goroutines. Close flushes the remainder and reports the
+// aggregate outcome.
+type BatchIngester struct {
+	c       *Client
+	dataset string
+	cfg     BatchIngesterConfig
+
+	sem chan struct{} // in-flight bound
+	wg  sync.WaitGroup
+
+	mu   sync.Mutex
+	buf  []*codec.Sample
+	base int // global index of buf[0]
+
+	inserted atomic.Int64
+	failed   atomic.Int64
+	batches  atomic.Int64
+
+	errMu    sync.Mutex
+	docErrs  []DocError // indices are global Add-order positions
+	reqErrs  []error
+	maxErrs  int
+	dropErrs int64
+}
+
+// NewBatchIngester builds a BatchIngester writing to dataset through this
+// client.
+func (c *Client) NewBatchIngester(dataset string, cfg BatchIngesterConfig) *BatchIngester {
+	cfg.defaults()
+	return &BatchIngester{
+		c:       c,
+		dataset: dataset,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		maxErrs: 1024,
+	}
+}
+
+// Add buffers one sample, dispatching a batch request when BatchSize is
+// reached. It blocks while MaxInFlight batches are already outstanding.
+func (b *BatchIngester) Add(s *codec.Sample) {
+	b.mu.Lock()
+	b.buf = append(b.buf, s)
+	if len(b.buf) < b.cfg.BatchSize {
+		b.mu.Unlock()
+		return
+	}
+	batch, base := b.buf, b.base
+	b.buf = nil
+	b.base += len(batch)
+	b.mu.Unlock()
+	b.dispatch(batch, base)
+}
+
+// Flush dispatches any buffered partial batch without waiting for it to
+// complete.
+func (b *BatchIngester) Flush() {
+	b.mu.Lock()
+	batch, base := b.buf, b.base
+	b.buf = nil
+	b.base += len(batch)
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.dispatch(batch, base)
+	}
+}
+
+// dispatch sends one batch asynchronously, bounded by the in-flight
+// semaphore (acquired on the caller's goroutine, which is what makes Add
+// block when the pipeline is full).
+func (b *BatchIngester) dispatch(batch []*codec.Sample, base int) {
+	b.batches.Add(1)
+	b.sem <- struct{}{}
+	b.wg.Add(1)
+	go func() {
+		defer func() { <-b.sem; b.wg.Done() }()
+		resp, err := b.c.IngestBatch(b.dataset, batch)
+		if err != nil {
+			b.failed.Add(int64(len(batch)))
+			b.noteErr(fmt.Errorf("dmsapi: batch at offset %d (%d docs): %w", base, len(batch), err))
+			return
+		}
+		b.inserted.Add(int64(resp.Inserted))
+		b.failed.Add(int64(len(batch) - resp.Inserted))
+		for _, de := range resp.Errors {
+			b.noteDocErr(DocError{Index: base + de.Index, Error: de.Error})
+		}
+	}()
+}
+
+func (b *BatchIngester) noteErr(err error) {
+	b.errMu.Lock()
+	defer b.errMu.Unlock()
+	if len(b.reqErrs) >= b.maxErrs {
+		b.dropErrs++
+		return
+	}
+	b.reqErrs = append(b.reqErrs, err)
+}
+
+func (b *BatchIngester) noteDocErr(de DocError) {
+	b.errMu.Lock()
+	defer b.errMu.Unlock()
+	if len(b.docErrs) >= b.maxErrs {
+		b.dropErrs++
+		return
+	}
+	b.docErrs = append(b.docErrs, de)
+}
+
+// BatchIngestSummary is the aggregate outcome of a BatchIngester run.
+type BatchIngestSummary struct {
+	// Added is how many samples passed through Add.
+	Added int
+	// Inserted is how many the server committed.
+	Inserted int
+	// Failed is Added − Inserted: per-doc rejections plus every document of
+	// batches whose request failed outright.
+	Failed int
+	// DocErrors lists per-document rejections (Index is the global
+	// Add-order position). RequestErrors lists failed batch requests. Both
+	// are capped at 1024 entries; Truncated counts the overflow.
+	DocErrors     []DocError
+	RequestErrors []error
+	Truncated     int64
+}
+
+// Close flushes the remainder, waits for every in-flight batch, and
+// returns the aggregate outcome. The error is non-nil if any batch request
+// failed outright (its documents are also counted in Failed). The
+// ingester must not be used after Close.
+func (b *BatchIngester) Close() (BatchIngestSummary, error) {
+	b.Flush()
+	b.wg.Wait()
+	b.errMu.Lock()
+	defer b.errMu.Unlock()
+	sum := BatchIngestSummary{
+		Inserted:      int(b.inserted.Load()),
+		Failed:        int(b.failed.Load()),
+		DocErrors:     b.docErrs,
+		RequestErrors: b.reqErrs,
+		Truncated:     b.dropErrs,
+	}
+	sum.Added = sum.Inserted + sum.Failed
+	var err error
+	if len(b.reqErrs) > 0 {
+		err = fmt.Errorf("dmsapi: %d of %d batch requests failed, first: %w",
+			len(b.reqErrs), b.batches.Load(), b.reqErrs[0])
+	}
+	return sum, err
+}

@@ -117,6 +117,18 @@ func (c *Client) Ingest(dataset string, samples []*codec.Sample) ([]string, erro
 	return out.IDs, err
 }
 
+// IngestBatch stores labeled samples through the high-throughput batch
+// endpoint. Per-document failures come back in the response's Errors array
+// rather than failing the call; the returned error covers only
+// request-level problems (transport failure after retries, 4xx/5xx).
+// For streaming many batches with bounded in-flight concurrency, see
+// NewBatchIngester.
+func (c *Client) IngestBatch(dataset string, samples []*codec.Sample) (IngestBatchResponse, error) {
+	var out IngestBatchResponse
+	err := c.postJSON(PathIngestBatch, IngestBatchRequest{Dataset: dataset, Samples: FromCodecSlice(samples)}, &out)
+	return out, err
+}
+
 // Certainty returns the fuzzy-clustering certainty of a dataset at the
 // given membership threshold (<= 0 uses the server default of 0.5).
 func (c *Client) Certainty(samples []*codec.Sample, threshold float64) (float64, error) {

@@ -20,6 +20,7 @@ import (
 	"fairdms/internal/codec"
 	"fairdms/internal/fairds"
 	"fairdms/internal/fairms"
+	"fairdms/internal/hdrhist"
 	"fairdms/internal/nn"
 )
 
@@ -28,6 +29,7 @@ const (
 	defaultMaxInFlight  = 64
 	defaultCacheSize    = 128
 	defaultMaxBodyBytes = 256 << 20 // 256 MiB: generous for sample batches, blocks runaway bodies
+	defaultMaxBatchDocs = 8192      // documents per ingest:batch request
 )
 
 // ServerConfig wires a Server to its two services and tunes its behavior.
@@ -54,6 +56,10 @@ type ServerConfig struct {
 	// occupying memory and an admission slot indefinitely. Zero means
 	// defaultMaxBodyBytes; negative means unlimited.
 	MaxBodyBytes int64
+	// MaxBatchDocs caps documents per ingest:batch request (413 beyond it),
+	// bounding the work one request can pin. Zero means
+	// defaultMaxBatchDocs; negative means unlimited.
+	MaxBatchDocs int
 	// Logger receives request-failure logs; nil silences them.
 	Logger *log.Logger
 }
@@ -97,28 +103,21 @@ type Server struct {
 	metrics map[string]*endpointMetrics
 }
 
-// endpointMetrics accumulates per-endpoint counters with atomics so the
-// request path never serializes on a stats lock.
+// endpointMetrics accumulates per-endpoint counters. Latency goes into a
+// lock-free bucketed histogram (count/sum/max/percentiles all derive from
+// it), so neither the request path nor a concurrent /statsz snapshot ever
+// serializes on a stats lock — the previous totals-only counters could
+// report averages but no tail.
 type endpointMetrics struct {
-	count   atomic.Int64
-	errors  atomic.Int64
-	totalNS atomic.Int64
-	maxNS   atomic.Int64
+	errors atomic.Int64
+	hist   hdrhist.Histogram
 }
 
 func (m *endpointMetrics) observe(d time.Duration, failed bool) {
-	m.count.Add(1)
 	if failed {
 		m.errors.Add(1)
 	}
-	ns := d.Nanoseconds()
-	m.totalNS.Add(ns)
-	for {
-		cur := m.maxNS.Load()
-		if ns <= cur || m.maxNS.CompareAndSwap(cur, ns) {
-			return
-		}
-	}
+	m.hist.Record(d)
 }
 
 // httpError carries a status code through handler returns.
@@ -148,6 +147,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = defaultMaxBodyBytes
 	}
+	if cfg.MaxBatchDocs == 0 {
+		cfg.MaxBatchDocs = defaultMaxBatchDocs
+	}
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
@@ -161,6 +163,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.clusterK.Store(int64(cfg.DS.K()))
 
 	s.route("POST "+PathIngest, "data.ingest", true, s.handleIngest)
+	s.route("POST "+PathIngestBatch, "data.ingest_batch", true, s.handleIngestBatch)
 	s.route("POST "+PathCertainty, "data.certainty", true, s.handleCertainty)
 	s.route("POST "+PathLookup, "data.lookup", true, s.handleLookup)
 	s.route("POST "+PathNearest, "data.nearest", true, s.handleNearest)
@@ -265,16 +268,19 @@ func (s *Server) Shed() int64 { return s.shed.Load() }
 func (s *Server) Stats() Stats {
 	eps := make(map[string]EndpointStats, len(s.metrics))
 	for name, m := range s.metrics {
-		count := m.count.Load()
-		total := float64(m.totalNS.Load()) / 1e6
+		snap := m.hist.Snapshot()
+		total := float64(snap.SumNS) / 1e6
 		ep := EndpointStats{
-			Count:   count,
+			Count:   snap.Count,
 			Errors:  m.errors.Load(),
 			TotalMS: total,
-			MaxMS:   float64(m.maxNS.Load()) / 1e6,
+			MaxMS:   float64(snap.MaxNS) / 1e6,
+			P50MS:   durMS(snap.Quantile(0.50)),
+			P95MS:   durMS(snap.Quantile(0.95)),
+			P99MS:   durMS(snap.Quantile(0.99)),
 		}
-		if count > 0 {
-			ep.AverageMS = total / float64(count)
+		if snap.Count > 0 {
+			ep.AverageMS = total / float64(snap.Count)
 		}
 		eps[name] = ep
 	}
@@ -323,6 +329,83 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
 		return serviceError(err)
 	}
 	return writeJSON(w, IngestResponse{IDs: ids})
+}
+
+// handleIngestBatch is the high-throughput ingest path: per-document
+// failure reporting instead of all-or-nothing, and a pipelined
+// embed→index→store flow underneath (fairds.IngestLabeledBatch). A
+// malformed wire sample is rejected at this boundary with a DocError; the
+// survivors bootstrap the clustering model if needed and commit.
+func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) error {
+	var req IngestBatchRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		return err
+	}
+	if len(req.Samples) == 0 {
+		return errf(http.StatusBadRequest, "ingest-batch: empty sample batch")
+	}
+	if s.cfg.MaxBatchDocs > 0 && len(req.Samples) > s.cfg.MaxBatchDocs {
+		return errf(http.StatusRequestEntityTooLarge,
+			"ingest-batch: %d documents exceeds the %d-document cap (split the batch)",
+			len(req.Samples), s.cfg.MaxBatchDocs)
+	}
+
+	resp := IngestBatchResponse{IDs: make([]string, len(req.Samples))}
+	valid := make([]*codec.Sample, 0, len(req.Samples))
+	validIdx := make([]int, 0, len(req.Samples))
+	for i := range req.Samples {
+		smp, err := decodeSample(req.Samples[i])
+		if err != nil {
+			resp.Errors = append(resp.Errors, DocError{Index: i, Error: err.Error()})
+			continue
+		}
+		valid = append(valid, smp)
+		validIdx = append(validIdx, i)
+	}
+
+	if len(valid) > 0 {
+		// The bootstrap fit collates its input, which would fail the whole
+		// request on a mixed-width batch — but per-document failure is this
+		// endpoint's contract, so only documents matching the batch's
+		// reference width (the first valid sample, same rule as
+		// IngestLabeledBatch) feed the fit; the off-width rest still get
+		// their individual errors from the service below.
+		fitSet := valid
+		refWidth := valid[0].Elems()
+		for _, smp := range valid[1:] {
+			if smp.Elems() != refWidth {
+				fitSet = make([]*codec.Sample, 0, len(valid))
+				for _, s := range valid {
+					if s.Elems() == refWidth {
+						fitSet = append(fitSet, s)
+					}
+				}
+				break
+			}
+		}
+		if err := s.ensureClusters(fitSet); err != nil {
+			return err
+		}
+		s.dsMu.RLock()
+		res, err := s.cfg.DS.IngestLabeledBatch(valid, req.Dataset, fairds.BatchOptions{})
+		s.dsMu.RUnlock()
+		if err != nil {
+			return serviceError(err)
+		}
+		for j, id := range res.IDs {
+			resp.IDs[validIdx[j]] = id
+		}
+		for _, de := range res.Errors {
+			resp.Errors = append(resp.Errors, DocError{Index: validIdx[de.Index], Error: de.Err.Error()})
+		}
+	}
+	sort.Slice(resp.Errors, func(i, j int) bool { return resp.Errors[i].Index < resp.Errors[j].Index })
+	for _, id := range resp.IDs {
+		if id != "" {
+			resp.Inserted++
+		}
+	}
+	return writeJSON(w, resp)
 }
 
 // ensureClusters performs the bootstrap fit: a daemon that started with an
@@ -600,20 +683,34 @@ func decodeSamples(ws []Sample) ([]*codec.Sample, error) {
 	}
 	out := make([]*codec.Sample, len(ws))
 	for i := range ws {
-		if d := codec.Dtype(ws[i].Dtype); d < codec.U8 || d > codec.F64 {
-			return nil, errf(http.StatusBadRequest, "sample %d: unknown dtype %d", i, ws[i].Dtype)
-		}
-		s := ws[i].ToCodec()
-		if s.Elems() <= 0 {
-			return nil, errf(http.StatusBadRequest, "sample %d: shape %v has no elements", i, s.Shape)
-		}
-		if err := s.Validate(); err != nil {
+		s, err := decodeSample(ws[i])
+		if err != nil {
 			return nil, errf(http.StatusBadRequest, "sample %d: %v", i, err)
 		}
 		out[i] = s
 	}
 	return out, nil
 }
+
+// decodeSample converts and validates one untrusted wire sample. The batch
+// endpoint calls it per document so one bad sample yields a DocError
+// instead of failing the whole request.
+func decodeSample(w Sample) (*codec.Sample, error) {
+	if d := codec.Dtype(w.Dtype); d < codec.U8 || d > codec.F64 {
+		return nil, fmt.Errorf("unknown dtype %d", w.Dtype)
+	}
+	s := w.ToCodec()
+	if s.Elems() <= 0 {
+		return nil, fmt.Errorf("shape %v has no elements", s.Shape)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// durMS converts a duration to fractional milliseconds for wire stats.
+func durMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 func decodeJSON(r io.Reader, v any) error {
 	if err := json.NewDecoder(r).Decode(v); err != nil {

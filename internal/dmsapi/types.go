@@ -26,16 +26,17 @@ import (
 
 // API paths served by Server and called by Client.
 const (
-	PathIngest     = "/v1/data/ingest"
-	PathCertainty  = "/v1/data/certainty"
-	PathLookup     = "/v1/data/lookup"
-	PathNearest    = "/v1/data/nearest"
-	PathPDF        = "/v1/data/pdf"
-	PathModels     = "/v1/models"
-	PathRecommend  = "/v1/models/recommend"
-	PathCheckpoint = "/v1/models/{id}/checkpoint"
-	PathHealth     = "/healthz"
-	PathStats      = "/statsz"
+	PathIngest      = "/v1/data/ingest"
+	PathIngestBatch = "/v1/data/ingest:batch"
+	PathCertainty   = "/v1/data/certainty"
+	PathLookup      = "/v1/data/lookup"
+	PathNearest     = "/v1/data/nearest"
+	PathPDF         = "/v1/data/pdf"
+	PathModels      = "/v1/models"
+	PathRecommend   = "/v1/models/recommend"
+	PathCheckpoint  = "/v1/models/{id}/checkpoint"
+	PathHealth      = "/healthz"
+	PathStats       = "/statsz"
 )
 
 // Sample is the wire form of a codec.Sample. Data holds the little-endian
@@ -87,6 +88,31 @@ type IngestRequest struct {
 // IngestResponse returns the stored document IDs, in input order.
 type IngestResponse struct {
 	IDs []string `json:"ids"`
+}
+
+// IngestBatchRequest is the body of POST /v1/data/ingest:batch — the
+// high-throughput ingest path. Unlike PathIngest, a malformed document
+// fails only itself: the response carries a per-document error array and
+// the rest of the batch commits.
+type IngestBatchRequest struct {
+	Dataset string   `json:"dataset"`
+	Samples []Sample `json:"samples"`
+}
+
+// DocError reports one document of a batch that was rejected, by its
+// position in the request.
+type DocError struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
+// IngestBatchResponse returns per-document outcomes: IDs is aligned with
+// the request batch ("" where the document failed), Errors lists the
+// failures in ascending index order, and Inserted counts the commits.
+type IngestBatchResponse struct {
+	IDs      []string   `json:"ids"`
+	Errors   []DocError `json:"errors,omitempty"`
+	Inserted int        `json:"inserted"`
 }
 
 // CertaintyRequest is the body of POST /v1/data/certainty: the §III-I
@@ -239,11 +265,17 @@ type CacheStats struct {
 	Evictions int64 `json:"evictions"`
 }
 
-// EndpointStats reports per-endpoint request counters.
+// EndpointStats reports per-endpoint request counters plus streaming
+// latency percentiles from a lock-free bucketed histogram (~3% resolution).
+// The histogram is recorded into by every in-flight request and snapshotted
+// with atomic loads, so /statsz never stalls the request path.
 type EndpointStats struct {
 	Count     int64   `json:"count"`
 	Errors    int64   `json:"errors"`
 	TotalMS   float64 `json:"total_ms"`
 	MaxMS     float64 `json:"max_ms"`
 	AverageMS float64 `json:"avg_ms"`
+	P50MS     float64 `json:"p50_ms"`
+	P95MS     float64 `json:"p95_ms"`
+	P99MS     float64 `json:"p99_ms"`
 }

@@ -1,0 +1,60 @@
+package embed
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fairdms/internal/tensor"
+)
+
+// TestEmbedConcurrentUse pins the Embedder contract batch ingest relies on:
+// eval-mode forwards on one shared model from many goroutines must be
+// race-free (run under -race) and must produce the same embeddings as a
+// serial pass.
+func TestEmbedConcurrentUse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const in, hidden, dim, n = 12, 16, 4, 32
+
+	aug := ImageAugmenter{H: 1, W: in, Noise: 0.01}.View
+	embedders := map[string]Embedder{
+		"autoencoder": NewAutoencoder(rng, in, hidden, dim),
+		"simclr":      NewSimCLR(rng, in, hidden, dim, dim, aug, 0.5),
+		"byol":        NewBYOL(rng, in, hidden, dim, aug, 0.99),
+		"scaled":      Scaled{E: NewAutoencoder(rng, in, hidden, dim), Factor: 0.5},
+	}
+
+	x := tensor.New(n, in)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+
+	for name, e := range embedders {
+		t.Run(name, func(t *testing.T) {
+			want := e.Embed(x)
+			const workers = 8
+			got := make([]*tensor.Tensor, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					got[w] = e.Embed(x)
+				}(w)
+			}
+			wg.Wait()
+			for w := 0; w < workers; w++ {
+				if got[w].Dim(0) != n || got[w].Dim(1) != dim {
+					t.Fatalf("worker %d: embedding shape (%d,%d), want (%d,%d)",
+						w, got[w].Dim(0), got[w].Dim(1), n, dim)
+				}
+				for i, v := range got[w].Data() {
+					if v != want.Data()[i] {
+						t.Fatalf("worker %d: embedding diverges from serial pass at elem %d: %g != %g",
+							w, i, v, want.Data()[i])
+					}
+				}
+			}
+		})
+	}
+}

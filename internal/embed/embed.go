@@ -25,6 +25,12 @@ import (
 
 // Embedder maps a batch of flattened images (N, features) to embeddings
 // (N, Dim()).
+//
+// Embed must be safe for concurrent use: batch-ingest pipelines fan
+// sub-batches out to parallel embed workers (fairds.IngestLabeledBatch).
+// The built-in methods satisfy this because nn eval-mode forwards write no
+// layer state; custom implementations that mutate per-call state (e.g.
+// Monte-Carlo dropout) must synchronize internally.
 type Embedder interface {
 	Embed(x *tensor.Tensor) *tensor.Tensor
 	Dim() int

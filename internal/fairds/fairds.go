@@ -875,7 +875,7 @@ func collate(samples []*codec.Sample) (*tensor.Tensor, error) {
 		if smp.Elems() != feat {
 			return nil, fmt.Errorf("fairds: sample %d has %d elements, expected %d", i, smp.Elems(), feat)
 		}
-		copy(x.Row(i), smp.Floats())
+		smp.FloatsInto(x.Row(i))
 	}
 	return x, nil
 }

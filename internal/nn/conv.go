@@ -46,14 +46,22 @@ func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	colRows := c.Dims.InC * c.Dims.KH * c.Dims.KW
 	colCols := outH * outW
 	out := tensor.New(n, c.OutFeatures())
-	cols := make([]*tensor.Tensor, n)
-	c.lastX = x
+	// The column matrices exist only to serve Backward; eval-mode forwards
+	// (train=false) keep them sample-local and write no layer state, so
+	// concurrent eval on a shared model is race-free.
+	var cols []*tensor.Tensor
+	if train {
+		cols = make([]*tensor.Tensor, n)
+		c.lastX = x
+	}
 
 	tensor.ParallelFor(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			col := tensor.New(colRows, colCols)
 			tensor.Im2Col(x.Row(i), c.Dims, col.Data())
-			cols[i] = col
+			if train {
+				cols[i] = col
+			}
 			// (outC × colRows) · (colRows × colCols) = outC × colCols
 			y := tensor.MatMul(c.w.Value, col)
 			yd := y.Data()
@@ -66,7 +74,9 @@ func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	})
-	c.lastCols = cols
+	if train {
+		c.lastCols = cols
+	}
 	return out
 }
 
@@ -145,7 +155,10 @@ func (p *MaxPool2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
 	oh, ow := p.H/p.Size, p.W/p.Size
 	out := tensor.New(n, p.OutFeatures())
-	arg := make([]int, n*p.OutFeatures())
+	var arg []int
+	if train {
+		arg = make([]int, n*p.OutFeatures())
+	}
 	tensor.ParallelFor(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			xrow := x.Row(i)
@@ -166,14 +179,18 @@ func (p *MaxPool2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 						}
 						oat := c*oh*ow + y*ow + z
 						orow[oat] = best
-						arg[i*p.OutFeatures()+oat] = bestAt
+						if train {
+							arg[i*p.OutFeatures()+oat] = bestAt
+						}
 					}
 				}
 			}
 		}
 	})
-	p.lastArg = arg
-	p.lastN = n
+	if train {
+		p.lastArg = arg
+		p.lastN = n
+	}
 	return out
 }
 

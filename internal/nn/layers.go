@@ -27,11 +27,17 @@ func NewLinear(rng *rand.Rand, in, out int) *Linear {
 	}
 }
 
-// Forward computes xW + b.
+// Forward computes xW + b. In eval mode (train=false) it caches nothing,
+// so concurrent eval-mode forwards on a shared model are race-free — the
+// property embedding servers rely on to run parallel Embed workers.
 func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkBatch("Linear", x, l.In)
-	l.lastX = x
-	return tensor.AddRowVector(tensor.MatMul(x, l.w.Value), l.b.Value)
+	if train {
+		l.lastX = x
+	}
+	// The MatMul result is freshly owned, so the bias folds in without
+	// materializing a second activation tensor.
+	return tensor.AddRowVectorInPlace(tensor.MatMul(x, l.w.Value), l.b.Value)
 }
 
 // Backward accumulates dW = xᵀ·g, db = Σg and returns dX = g·Wᵀ.
@@ -55,7 +61,9 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward clamps negatives to zero.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	r.lastX = x
+	if train {
+		r.lastX = x
+	}
 	return tensor.Apply(x, func(v float64) float64 {
 		if v > 0 {
 			return v
@@ -90,7 +98,9 @@ func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
 
 // Forward applies the leaky rectifier.
 func (r *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	r.lastX = x
+	if train {
+		r.lastX = x
+	}
 	a := r.Alpha
 	return tensor.Apply(x, func(v float64) float64 {
 		if v > 0 {
@@ -126,7 +136,9 @@ func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 // Forward applies the logistic function.
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	y := tensor.Apply(x, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
-	s.lastY = y
+	if train {
+		s.lastY = y
+	}
 	return y
 }
 
@@ -152,7 +164,9 @@ func NewTanh() *Tanh { return &Tanh{} }
 // Forward applies tanh element-wise.
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	y := tensor.Apply(x, math.Tanh)
-	t.lastY = y
+	if train {
+		t.lastY = y
+	}
 	return y
 }
 
@@ -190,10 +204,14 @@ func NewDropout(rng *rand.Rand, p float64) *Dropout {
 }
 
 // Forward applies the random mask in training (or MC) mode and is the
-// identity otherwise.
+// identity otherwise. The plain eval path (train=false, MC off) writes no
+// layer state, so it is safe to run concurrently; MC mode draws from the
+// layer's RNG and is not.
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if (!train && !d.MC) || d.P == 0 {
-		d.lastMask = nil
+		if train || d.MC {
+			d.lastMask = nil
+		}
 		return x
 	}
 	keep := 1 - d.P
