@@ -1,15 +1,16 @@
 // Command dmsbench load-tests a live dmsd daemon: a closed-loop worker
 // pool drives a weighted mix of the serving-path operations (batch ingest,
-// certainty, nearest-label, recommend), measures client-side latency
-// histograms plus the server's /statsz delta, prints a human summary, and
-// writes the machine-readable BENCH_dmsapi.json that records the serving
-// tier's performance trajectory across PRs (see docs/BENCHMARKS.md).
+// certainty, nearest-label, recommend, and end-to-end server-side train
+// jobs), measures client-side latency histograms plus the server's /statsz
+// delta, prints a human summary, and writes the machine-readable
+// BENCH_dmsapi.json that records the serving tier's performance trajectory
+// across PRs (see docs/BENCHMARKS.md).
 //
 // Usage:
 //
 //	dmsd -addr 127.0.0.1:7718 &
 //	dmsbench -addr 127.0.0.1:7718 -workers 4 -duration 5s \
-//	         -mix ingest_batch:1,certainty:2,nearest:4,recommend:4 \
+//	         -mix ingest_batch:1,certainty:2,nearest:4,recommend:4,train:1 \
 //	         -out BENCH_dmsapi.json
 //
 // With -fail-on-errors the exit status is non-zero if any request failed —
@@ -31,7 +32,8 @@ func main() {
 	workers := flag.Int("workers", 4, "closed-loop worker count")
 	duration := flag.Duration("duration", 5*time.Second, "measured phase length")
 	mixFlag := flag.String("mix", "ingest_batch:1,certainty:2,nearest:4,recommend:4",
-		"operation mix as op:weight,... (ops: ingest_batch, certainty, nearest, recommend)")
+		"operation mix as op:weight,... (ops: ingest_batch, certainty, nearest, recommend, train)")
+	trainEpochs := flag.Int("train-epochs", 3, "epochs per train-op job")
 	batch := flag.Int("batch", 64, "documents per ingest_batch request")
 	query := flag.Int("query", 8, "samples per certainty/nearest request")
 	patch := flag.Int("patch", 11, "square Bragg patch edge for generated samples")
@@ -47,15 +49,16 @@ func main() {
 		log.Fatalf("dmsbench: %v", err)
 	}
 	cfg := loadgen.Config{
-		Addr:      *addr,
-		Workers:   *workers,
-		Duration:  *duration,
-		Mix:       mix,
-		BatchSize: *batch,
-		QuerySize: *query,
-		Patch:     *patch,
-		SetupDocs: *setupDocs,
-		Seed:      *seed,
+		Addr:        *addr,
+		Workers:     *workers,
+		Duration:    *duration,
+		Mix:         mix,
+		BatchSize:   *batch,
+		QuerySize:   *query,
+		Patch:       *patch,
+		SetupDocs:   *setupDocs,
+		TrainEpochs: *trainEpochs,
+		Seed:        *seed,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf

@@ -16,12 +16,19 @@
 // first request instead of scanning the store over the wire until a
 // reindex.
 //
+// The daemon also embeds the server-side rapid-train subsystem
+// (internal/trainer): /v1/train jobs warm-start from the zoo's
+// recommended checkpoint and register their result back with lineage
+// metadata, running on a bounded worker pool (-train-workers) with a
+// bounded queue (-train-queue; saturation sheds with 429).
+//
 // Usage:
 //
 //	dmsd [-addr host:port] [-store addr] [-collection name] [-zoo path]
 //	     [-k 8] [-embed-dim 8] [-embed-hidden 64] [-embed-scale 1]
 //	     [-seed 1] [-max-inflight 64] [-cache 128] [-max-batch 8192]
-//	     [-vecindex flat|ivf|off] [-nprobe 4] [-v]
+//	     [-vecindex flat|ivf|off] [-nprobe 4]
+//	     [-train-workers 2] [-train-queue 8] [-v]
 package main
 
 import (
@@ -91,6 +98,8 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 64, "in-flight request bound before 429 shedding (<0 = unlimited)")
 	cacheSize := flag.Int("cache", 128, "LRU capacity for hot recommend/PDF results (<0 = coalescing only)")
 	maxBatch := flag.Int("max-batch", 8192, "documents per ingest:batch request before 413 (<0 = unlimited)")
+	trainWorkers := flag.Int("train-workers", 2, "parallel server-side training jobs (0 disables /v1/train)")
+	trainQueue := flag.Int("train-queue", 8, "queued training jobs before submissions shed with 429")
 	indexKind := flag.String("vecindex", "flat", "nearest-label vector index: flat (exact), ivf (approximate, sublinear), off (store scans)")
 	nprobe := flag.Int("nprobe", 4, "IVF sublists probed per query (higher = more accurate, slower)")
 	verbose := flag.Bool("v", false, "log request failures")
@@ -168,6 +177,8 @@ func main() {
 		CacheSize:    *cacheSize,
 		MaxBatchDocs: *maxBatch,
 		BootstrapK:   *k,
+		TrainWorkers: *trainWorkers,
+		TrainQueue:   *trainQueue,
 		Logger:       logger,
 	})
 	if err != nil {

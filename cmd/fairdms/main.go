@@ -10,7 +10,8 @@
 //
 // Usage:
 //
-//	fairdms [-scans N] [-peaks N] [-store addr] [-dms addr] [-timescale f]
+//	fairdms [-scans N] [-peaks N] [-store addr] [-dms addr] [-server-train]
+//	        [-timescale f]
 //
 // With -store, historical data lives in an external dstore server;
 // otherwise an in-process store is used. With -dms, the data and model
@@ -18,7 +19,11 @@
 // daemon over HTTP — certainty, label lookup, PDF, recommendation, and
 // checkpoint download all cross the network — and only the fine-tuning
 // happens locally, exercising the paper's service deployment end to end
-// (-store is then ignored; the daemon owns the store).
+// (-store is then ignored; the daemon owns the store). Adding
+// -server-train moves even the training into the daemon: each scan
+// becomes one async /v1/train job that warm-starts from the zoo's
+// recommendation and registers its checkpoint with lineage, and the
+// workflow just polls the job and downloads the result.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"strings"
 	"time"
 
 	"fairdms/internal/codec"
@@ -67,6 +73,8 @@ func main() {
 	peaks := flag.Int("peaks", 60, "peaks per scan")
 	storeAddr := flag.String("store", "", "external dstore address (empty = in-process)")
 	dmsAddr := flag.String("dms", "", "external dmsd address (empty = in-process services)")
+	serverTrain := flag.Bool("server-train", false,
+		"with -dms: train server-side via async /v1/train jobs (daemon warm-starts and registers)")
 	timescale := flag.Float64("timescale", 0.001, "transfer time compression (0 = no sleeping)")
 	flag.Parse()
 
@@ -86,8 +94,13 @@ func main() {
 		b, err := newRemoteBackend(*dmsAddr, rng, warmup)
 		check(err)
 		defer b.client.Close()
+		b.serverTrain = *serverTrain
 		be = b
-		log.Printf("fairdms: using remote fairDMS services at %s", *dmsAddr)
+		mode := "local fine-tuning"
+		if *serverTrain {
+			mode = "server-side /v1/train jobs"
+		}
+		log.Printf("fairdms: using remote fairDMS services at %s (%s)", *dmsAddr, mode)
 	} else {
 		b := newLocalBackend(rng, *storeAddr, warmup, seq)
 		if b.closer != nil {
@@ -307,9 +320,10 @@ func (b *localBackend) summary() string {
 // fine-tuning itself runs locally (it is the HPC job).
 
 type remoteBackend struct {
-	client *dmsapi.Client
-	rng    *rand.Rand
-	jsdMax float64
+	client      *dmsapi.Client
+	rng         *rand.Rand
+	jsdMax      float64
+	serverTrain bool // train via /v1/train jobs instead of locally
 }
 
 func newRemoteBackend(addr string, rng *rand.Rand, warmup []*codec.Sample) (*remoteBackend, error) {
@@ -365,6 +379,9 @@ func addModelTolerateDuplicate(client *dmsapi.Client, id string, state *nn.State
 }
 
 func (b *remoteBackend) rapidTrain(scan int, samples []*codec.Sample) (*nn.Model, *core.Report, error) {
+	if b.serverTrain {
+		return b.rapidTrainServer(scan, samples)
+	}
 	rep := &core.Report{}
 
 	cert, err := b.client.Certainty(samples, core.DefaultMembershipCut)
@@ -429,6 +446,76 @@ func (b *remoteBackend) rapidTrain(scan int, samples []*codec.Sample) (*nn.Model
 	}
 	if dup {
 		log.Printf("fairdms: daemon already holds %s, keeping its copy", id)
+	}
+	return model, rep, nil
+}
+
+// rapidTrainServer pushes the training of the rapid-train action into
+// the daemon: the workflow still runs the certainty check and the
+// pseudo-labeling Lookup (so both -dms modes train on the same
+// PDF-matched historical labels and report comparable numbers), then one
+// /v1/train job computes the PDF, picks the warm-start foundation,
+// trains, and registers the checkpoint with lineage — the workflow polls
+// and downloads the result for deploy.
+func (b *remoteBackend) rapidTrainServer(scan int, samples []*codec.Sample) (*nn.Model, *core.Report, error) {
+	rep := &core.Report{}
+	cert, err := b.client.Certainty(samples, core.DefaultMembershipCut)
+	if err != nil {
+		return nil, nil, fmt.Errorf("remote certainty: %w", err)
+	}
+	rep.Certainty = cert
+
+	labelStart := time.Now()
+	labeled, err := b.client.Lookup(samples)
+	if err != nil {
+		return nil, nil, fmt.Errorf("remote label lookup: %w", err)
+	}
+	rep.LabelTime = time.Since(labelStart)
+	rep.Labeled = len(labeled)
+
+	id := fmt.Sprintf("braggnn-scan%02d", scan)
+	job, sd, err := b.client.RapidTrain(dmsapi.TrainRequest{
+		Samples:   dmsapi.FromCodecSlice(labeled),
+		Model:     "braggnn",
+		Epochs:    25,
+		BatchSize: 16,
+		MaxJSD:    b.jsdMax,
+		Seed:      int64(50 + scan),
+		ModelID:   id,
+		Meta:      map[string]string{"scan": fmt.Sprint(scan)},
+	}, 10*time.Minute)
+	if err != nil {
+		// A re-run against a long-lived daemon finds the scan's model
+		// already registered; reuse it like the local path does. The
+		// failed job's training numbers describe a run whose checkpoint
+		// was discarded, so the report stays empty rather than claiming
+		// them for the previous run's model we actually deploy.
+		if job.State == "failed" && strings.Contains(job.Error, "duplicate model id") {
+			log.Printf("fairdms: daemon already holds %s, reusing its copy", id)
+			if sd, err = b.client.Checkpoint(id); err != nil {
+				return nil, nil, fmt.Errorf("fetching existing %s: %w", id, err)
+			}
+		} else {
+			return nil, nil, fmt.Errorf("server train job: %w", err)
+		}
+	} else {
+		rep.FineTuned = job.Warm
+		rep.Foundation = job.Foundation
+		rep.JSD = job.JSD
+		if !job.StartedAt.IsZero() && !job.FinishedAt.IsZero() {
+			rep.TrainTime = job.FinishedAt.Sub(job.StartedAt)
+		}
+		rep.Result = &nn.TrainResult{
+			TrainLoss: job.TrainLoss,
+			ValLoss:   job.ValLoss,
+			Epochs:    job.Epochs,
+			Converged: job.Converged,
+		}
+	}
+
+	model := models.NewBraggNN(b.rng, patch).Net
+	if err := model.LoadState(sd); err != nil {
+		return nil, nil, fmt.Errorf("loading server-trained %s: %w", id, err)
 	}
 	return model, rep, nil
 }

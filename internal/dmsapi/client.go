@@ -3,6 +3,7 @@ package dmsapi
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -198,6 +199,95 @@ func (c *Client) Checkpoint(id string) (*nn.StateDict, error) {
 		return nil, err
 	}
 	return nn.StateDictFromBytes(body)
+}
+
+// ---------------------------------------------------------------------------
+// Training plane
+
+// SubmitTrain submits an asynchronous server-side training job and
+// returns its initial status. A saturated job queue surfaces as a
+// StatusError with code 429.
+func (c *Client) SubmitTrain(req TrainRequest) (TrainJob, error) {
+	var out TrainJob
+	err := c.postJSON(PathTrain, req, &out)
+	return out, err
+}
+
+// TrainJobs lists every training job in submission order (without loss
+// curves; fetch a single job for those).
+func (c *Client) TrainJobs() ([]TrainJob, error) {
+	var out TrainListResponse
+	err := c.getJSON(PathTrain, &out)
+	return out.Jobs, err
+}
+
+// TrainJob fetches one job's full status, including live loss curves.
+func (c *Client) TrainJob(id string) (TrainJob, error) {
+	var out TrainJob
+	err := c.getJSON(strings.Replace(PathTrainJob, "{id}", url.PathEscape(id), 1), &out)
+	return out, err
+}
+
+// CancelTrain requests cancellation of a job and returns its status
+// (already-terminal jobs come back unchanged).
+func (c *Client) CancelTrain(id string) (TrainJob, error) {
+	var out TrainJob
+	err := c.postJSON(strings.Replace(PathTrainCancel, "{id}", url.PathEscape(id), 1), struct{}{}, &out)
+	return out, err
+}
+
+// WaitTrain polls a job until it reaches a terminal state or timeout
+// elapses (poll <= 0 uses 100ms). A 429 on a status poll means the
+// server shed the read under load, not that the job failed — the poll
+// just retries until the deadline.
+func (c *Client) WaitTrain(id string, poll, timeout time.Duration) (TrainJob, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		job, err := c.TrainJob(id)
+		if err != nil {
+			var se *StatusError
+			if errors.As(err, &se) && se.Code == http.StatusTooManyRequests && time.Now().Before(deadline) {
+				time.Sleep(poll)
+				continue
+			}
+			return job, err
+		}
+		if job.Terminal() {
+			return job, nil
+		}
+		if time.Now().After(deadline) {
+			return job, fmt.Errorf("dmsapi: train job %s still %s after %v", id, job.State, timeout)
+		}
+		time.Sleep(poll)
+	}
+}
+
+// RapidTrain runs the paper's Fig. 5 rapid-train action server-side:
+// submit the job (the daemon computes the PDF, picks the closest zoo
+// checkpoint under the JSD threshold, and warm-starts — or cold-starts —
+// training), wait for it to finish, and download the resulting
+// checkpoint. The returned TrainJob carries the warm/cold decision,
+// foundation lineage, and loss curves.
+func (c *Client) RapidTrain(req TrainRequest, timeout time.Duration) (TrainJob, *nn.StateDict, error) {
+	job, err := c.SubmitTrain(req)
+	if err != nil {
+		return job, nil, err
+	}
+	job, err = c.WaitTrain(job.ID, 0, timeout)
+	if err != nil {
+		return job, nil, err
+	}
+	if job.State != "done" {
+		return job, nil, fmt.Errorf("dmsapi: train job %s ended %s: %s", job.ID, job.State, job.Error)
+	}
+	sd, err := c.Checkpoint(job.ModelID)
+	if err != nil {
+		return job, nil, fmt.Errorf("dmsapi: downloading trained checkpoint %s: %w", job.ModelID, err)
+	}
+	return job, sd, nil
 }
 
 // ---------------------------------------------------------------------------

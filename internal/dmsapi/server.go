@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"fairdms/internal/fairms"
 	"fairdms/internal/hdrhist"
 	"fairdms/internal/nn"
+	"fairdms/internal/trainer"
 )
 
 // Defaults for ServerConfig zero values.
@@ -60,6 +62,13 @@ type ServerConfig struct {
 	// bounding the work one request can pin. Zero means
 	// defaultMaxBatchDocs; negative means unlimited.
 	MaxBatchDocs int
+	// TrainWorkers enables the embedded training subsystem (/v1/train):
+	// the number of jobs trained in parallel. Zero disables training (the
+	// /v1/train routes 404).
+	TrainWorkers int
+	// TrainQueue bounds jobs waiting for a training worker; submissions
+	// past it are shed with 429. Zero means trainer.DefaultQueue.
+	TrainQueue int
 	// Logger receives request-failure logs; nil silences them.
 	Logger *log.Logger
 }
@@ -101,6 +110,11 @@ type Server struct {
 	clusterGen atomic.Uint64
 
 	metrics map[string]*endpointMetrics
+
+	// trainer is the embedded training-job subsystem (nil when
+	// TrainWorkers == 0). Its jobs read the data service under dsMu's
+	// read side and bump zooGen when a checkpoint lands in the zoo.
+	trainer *trainer.Manager
 }
 
 // endpointMetrics accumulates per-endpoint counters. Latency goes into a
@@ -174,8 +188,43 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.route("GET "+PathCheckpoint, "models.checkpoint", true, s.handleCheckpoint)
 	s.route("GET "+PathHealth, "healthz", false, s.handleHealth)
 	s.route("GET "+PathStats, "statsz", false, s.handleStats)
+
+	if cfg.TrainWorkers > 0 {
+		mgr, err := trainer.New(trainer.Config{
+			DS:      cfg.DS,
+			Zoo:     cfg.Zoo,
+			Workers: cfg.TrainWorkers,
+			Queue:   cfg.TrainQueue,
+			// Jobs read the data service under the same lock the bootstrap
+			// fit takes exclusively, so a fit never races a running job.
+			Guard: &s.dsMu,
+			// A checkpoint landing in the zoo invalidates memoized
+			// recommend results exactly like a client-side model add.
+			OnRegister: func(string) { s.zooGen.Add(1) },
+			Logger:     cfg.Logger,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.trainer = mgr
+		mgr.Start()
+		// Train submissions are not shed by the global admission gate: the
+		// trainer's own bounded queue is the backpressure (429 on
+		// saturation), and a queued submission costs almost nothing while
+		// held. Cancels are exempt too — under overload, the one request
+		// that frees an expensive training worker must not be the one
+		// rejected. Status reads stay shed like any other read.
+		s.route("POST "+PathTrain, "train.submit", false, s.handleTrainSubmit)
+		s.route("GET "+PathTrain, "train.list", true, s.handleTrainList)
+		s.route("GET "+PathTrainJob, "train.get", true, s.handleTrainGet)
+		s.route("POST "+PathTrainJob, "train.cancel", false, s.handleTrainCancel)
+	}
 	return s, nil
 }
+
+// Trainer exposes the embedded training manager (nil when training is
+// disabled) — used by the daemon and tests.
+func (s *Server) Trainer() *trainer.Manager { return s.trainer }
 
 // route registers a handler with admission control and metrics. shed=false
 // exempts the endpoint from load shedding (health and stats must answer
@@ -250,12 +299,20 @@ func (s *Server) Addr() string {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Shutdown gracefully stops the server: the listener closes immediately,
-// in-flight requests get until ctx expires to finish.
+// in-flight requests get until ctx expires to finish, and the training
+// subsystem stops accepting jobs, cancels the running ones, and drains
+// its workers.
 func (s *Server) Shutdown(ctx context.Context) error {
-	if s.http == nil {
-		return nil
+	var httpErr error
+	if s.http != nil {
+		httpErr = s.http.Shutdown(ctx)
 	}
-	return s.http.Shutdown(ctx)
+	if s.trainer != nil {
+		if err := s.trainer.Shutdown(ctx); err != nil && httpErr == nil {
+			httpErr = err
+		}
+	}
+	return httpErr
 }
 
 // Requests reports how many requests have been handled (shed ones excluded).
@@ -284,6 +341,11 @@ func (s *Server) Stats() Stats {
 		}
 		eps[name] = ep
 	}
+	var ts *TrainStats
+	if s.trainer != nil {
+		snap := s.trainer.Stats()
+		ts = &snap
+	}
 	// IndexStats is atomically counted inside the data service, so no dsMu
 	// here — /statsz answers even during a bootstrap fit.
 	is := s.cfg.DS.IndexStats()
@@ -303,6 +365,7 @@ func (s *Server) Stats() Stats {
 			ListsProbed: is.ListsProbed,
 			Corrupt:     is.Corrupt,
 		},
+		Train:     ts,
 		Endpoints: eps,
 	}
 }
@@ -634,6 +697,114 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) error 
 	// already committed, so there is no error body left to send.
 	w.Write(blob)
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Training-plane handlers
+
+// handleTrainSubmit enqueues a server-side training job. Queue saturation
+// surfaces as 429 — training backpressure, distinct from the global
+// admission gate — and an unfitted clustering model as 409 (the job could
+// only fail asynchronously on its PDF computation otherwise).
+func (s *Server) handleTrainSubmit(w http.ResponseWriter, r *http.Request) error {
+	var req TrainRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		return err
+	}
+	if s.clusterK.Load() == 0 {
+		return errf(http.StatusConflict, "train: %v", fairds.ErrNotFitted)
+	}
+	spec := trainer.Spec{
+		Dataset:     req.Dataset,
+		Model:       req.Model,
+		Hidden:      req.Hidden,
+		Epochs:      req.Epochs,
+		BatchSize:   req.BatchSize,
+		LR:          req.LR,
+		TargetLoss:  req.TargetLoss,
+		Patience:    req.Patience,
+		MaxJSD:      req.MaxJSD,
+		ValFraction: req.ValFraction,
+		Seed:        req.Seed,
+		ModelID:     req.ModelID,
+		Meta:        req.Meta,
+	}
+	if len(req.Samples) > 0 {
+		samples, err := decodeSamples(req.Samples)
+		if err != nil {
+			return err
+		}
+		spec.Samples = samples
+	}
+	st, err := s.trainer.Submit(spec)
+	switch {
+	case errors.Is(err, trainer.ErrQueueFull):
+		return errf(http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, trainer.ErrShutdown):
+		return errf(http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		return errf(http.StatusBadRequest, "%v", err)
+	}
+	return writeJSON(w, wireTrainJob(st, true))
+}
+
+func (s *Server) handleTrainList(w http.ResponseWriter, r *http.Request) error {
+	statuses := s.trainer.List()
+	resp := TrainListResponse{Jobs: make([]TrainJob, len(statuses))}
+	for i, st := range statuses {
+		resp.Jobs[i] = wireTrainJob(st, false) // curves only in the detail view
+	}
+	return writeJSON(w, resp)
+}
+
+func (s *Server) handleTrainGet(w http.ResponseWriter, r *http.Request) error {
+	st, err := s.trainer.Get(r.PathValue("id"))
+	if err != nil {
+		return errf(http.StatusNotFound, "%v", err)
+	}
+	return writeJSON(w, wireTrainJob(st, true))
+}
+
+// handleTrainCancel serves POST /v1/train/{id}:cancel. ServeMux wildcards
+// span whole segments, so the route matches POST /v1/train/{anything} and
+// the ":cancel" action suffix is peeled off here.
+func (s *Server) handleTrainCancel(w http.ResponseWriter, r *http.Request) error {
+	id, ok := strings.CutSuffix(r.PathValue("id"), ":cancel")
+	if !ok {
+		return errf(http.StatusNotFound, "train: POST %s is not an action (want {id}:cancel)", r.URL.Path)
+	}
+	st, err := s.trainer.Cancel(id)
+	if err != nil {
+		return errf(http.StatusNotFound, "%v", err)
+	}
+	return writeJSON(w, wireTrainJob(st, true))
+}
+
+// wireTrainJob converts a trainer status snapshot to its wire form.
+func wireTrainJob(st *trainer.Status, withCurves bool) TrainJob {
+	j := TrainJob{
+		ID:          st.ID,
+		State:       string(st.State),
+		Model:       st.Model,
+		Dataset:     st.Dataset,
+		Samples:     st.Samples,
+		Warm:        st.Warm,
+		Foundation:  st.Foundation,
+		JSD:         st.JSD,
+		Epochs:      st.Epochs,
+		Converged:   st.Converged,
+		ConvergedAt: st.ConvergedAt,
+		ModelID:     st.ModelID,
+		Error:       st.Err,
+		SubmittedAt: st.SubmittedAt,
+		StartedAt:   st.StartedAt,
+		FinishedAt:  st.FinishedAt,
+	}
+	if withCurves {
+		j.TrainLoss = st.TrainLoss
+		j.ValLoss = st.ValLoss
+	}
+	return j
 }
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"fairdms/internal/codec"
+	"fairdms/internal/trainer"
 )
 
 // API paths served by Server and called by Client.
@@ -35,6 +36,9 @@ const (
 	PathModels      = "/v1/models"
 	PathRecommend   = "/v1/models/recommend"
 	PathCheckpoint  = "/v1/models/{id}/checkpoint"
+	PathTrain       = "/v1/train"
+	PathTrainJob    = "/v1/train/{id}"
+	PathTrainCancel = "/v1/train/{id}:cancel"
 	PathHealth      = "/healthz"
 	PathStats       = "/statsz"
 )
@@ -214,6 +218,75 @@ type RecommendResponse struct {
 	OK  bool    `json:"ok"`
 }
 
+// TrainRequest is the body of POST /v1/train: submit an asynchronous
+// server-side training job (the paper's rapid-train action run inside the
+// daemon). Exactly one data source is used: inline Samples win over a
+// Dataset tag naming already-ingested samples. Zero values pick the
+// trainer's defaults; MaxJSD < 0 forces a cold start.
+type TrainRequest struct {
+	Dataset     string            `json:"dataset,omitempty"`
+	Samples     []Sample          `json:"samples,omitempty"`
+	Model       string            `json:"model,omitempty"` // "braggnn" (default) or "mlp"
+	Hidden      int               `json:"hidden,omitempty"`
+	Epochs      int               `json:"epochs,omitempty"`
+	BatchSize   int               `json:"batch_size,omitempty"`
+	LR          float64           `json:"lr,omitempty"`
+	TargetLoss  float64           `json:"target_loss,omitempty"`
+	Patience    int               `json:"patience,omitempty"`
+	MaxJSD      float64           `json:"max_jsd,omitempty"`
+	ValFraction float64           `json:"val_fraction,omitempty"`
+	Seed        int64             `json:"seed,omitempty"`
+	ModelID     string            `json:"model_id,omitempty"`
+	Meta        map[string]string `json:"meta,omitempty"`
+}
+
+// TrainJob is the wire form of a training job's status: the body of the
+// submit and cancel responses, GET /v1/train/{id} (with loss curves), and
+// the list entries of GET /v1/train (curves omitted to bound the payload).
+type TrainJob struct {
+	ID      string `json:"id"`
+	State   string `json:"state"` // queued | running | done | failed | canceled
+	Model   string `json:"model"`
+	Dataset string `json:"dataset,omitempty"`
+	Samples int    `json:"samples"`
+
+	Warm       bool    `json:"warm"`
+	Foundation string  `json:"foundation,omitempty"`
+	JSD        float64 `json:"jsd"`
+
+	Epochs      int       `json:"epochs"`
+	Converged   bool      `json:"converged"`
+	ConvergedAt int       `json:"converged_at,omitempty"`
+	TrainLoss   []float64 `json:"train_loss,omitempty"`
+	ValLoss     []float64 `json:"val_loss,omitempty"`
+
+	ModelID string `json:"model_id,omitempty"`
+	Error   string `json:"error,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+}
+
+// Terminal reports whether the job has reached an end state (delegating
+// to the trainer's state machine, the source of truth for state names).
+func (j *TrainJob) Terminal() bool {
+	return trainer.State(j.State).Terminal()
+}
+
+// TrainListResponse is the body of GET /v1/train: every job in submission
+// order, loss curves omitted.
+type TrainListResponse struct {
+	Jobs []TrainJob `json:"jobs"`
+}
+
+// TrainStats reports the training subsystem's gauges: pool geometry,
+// live queue depth and active jobs, and lifetime submitted/completed/
+// failed/canceled plus warm-vs-cold start counts. It aliases
+// trainer.Stats — the json tags live there — so a gauge added to the
+// trainer reaches /statsz without a hand-kept mirror drifting.
+type TrainStats = trainer.Stats
+
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
 	Status  string `json:"status"`
@@ -230,13 +303,16 @@ type ErrorResponse struct {
 // Stats is the body of GET /statsz: a point-in-time snapshot of server
 // counters.
 type Stats struct {
-	UptimeSeconds float64                  `json:"uptime_seconds"`
-	InFlight      int                      `json:"in_flight"`
-	Shed          int64                    `json:"shed"` // 429s returned
-	Requests      int64                    `json:"requests"`
-	Cache         CacheStats               `json:"cache"`
-	Index         IndexStats               `json:"index"`
-	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	InFlight      int        `json:"in_flight"`
+	Shed          int64      `json:"shed"` // 429s returned
+	Requests      int64      `json:"requests"`
+	Cache         CacheStats `json:"cache"`
+	Index         IndexStats `json:"index"`
+	// Train is present when the server embeds the training subsystem
+	// (ServerConfig.TrainWorkers > 0).
+	Train     *TrainStats              `json:"train,omitempty"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 
 // IndexStats reports the data service's vector-index coverage and

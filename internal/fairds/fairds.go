@@ -585,6 +585,31 @@ func (s *Service) NearestMatches(samples []*codec.Sample, distinct bool) ([]Matc
 	return out, nil
 }
 
+// DatasetSamples fetches and decodes every stored sample ingested under
+// the given dataset tag — the selector the server-side trainer resolves a
+// "train on scan X" job against without the samples crossing the wire
+// again.
+func (s *Service) DatasetSamples(dataset string) ([]*codec.Sample, error) {
+	if dataset == "" {
+		return nil, errors.New("fairds: empty dataset tag")
+	}
+	docs, err := s.store.Find(docstore.Query{
+		Filters: []docstore.Filter{docstore.Eq("dataset", dataset)},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fairds: fetching dataset %q: %w", dataset, err)
+	}
+	out := make([]*codec.Sample, len(docs))
+	for i, d := range docs {
+		smp, err := s.decodeDoc(d)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = smp
+	}
+	return out, nil
+}
+
 // GetSamples fetches and decodes the stored samples with the given IDs.
 func (s *Service) GetSamples(ids []string) ([]*codec.Sample, error) {
 	docs, err := s.store.GetMany(ids)

@@ -12,11 +12,33 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"fairdms/internal/nn"
 	"fairdms/internal/stats"
+)
+
+// Reserved Meta keys written by the server-side trainer (internal/trainer)
+// when it registers a checkpoint — the model-provenance lineage of the
+// FAIR-for-HEDM follow-up. They travel inside Record.Meta, so any
+// Save/Load round trip preserves them; the typed accessors on Record read
+// them back.
+const (
+	// MetaParent is the zoo ID of the checkpoint this model was
+	// warm-started from ("" / absent for a cold start).
+	MetaParent = "parent"
+	// MetaEpochs is the number of training epochs actually run, as a
+	// decimal integer.
+	MetaEpochs = "epochs"
+	// MetaConvergedAt is the 1-based epoch whose validation loss first met
+	// the target loss, as a decimal integer; absent when no target was set
+	// or it was never reached.
+	MetaConvergedAt = "converged_at"
+	// MetaWarmStart is "true" when the model was fine-tuned from a parent
+	// checkpoint and "false" for a from-scratch run.
+	MetaWarmStart = "warm_start"
 )
 
 // Record is one zoo entry: a checkpoint plus the signature of the data it
@@ -27,6 +49,34 @@ type Record struct {
 	TrainPDF stats.PDF
 	Meta     map[string]string
 	AddedAt  time.Time
+}
+
+// Parent returns the zoo ID of the checkpoint this model was warm-started
+// from, or "" for a cold start (or when no lineage was recorded).
+func (r *Record) Parent() string { return r.Meta[MetaParent] }
+
+// Epochs returns the recorded training epoch count; ok is false when the
+// record carries no (or a malformed) epochs entry.
+func (r *Record) Epochs() (n int, ok bool) { return r.metaInt(MetaEpochs) }
+
+// ConvergedAt returns the recorded 1-based epoch at which validation loss
+// first met the target; ok is false when the run never converged or no
+// lineage was recorded.
+func (r *Record) ConvergedAt() (epoch int, ok bool) { return r.metaInt(MetaConvergedAt) }
+
+// WarmStarted reports whether the record is flagged as a warm start.
+func (r *Record) WarmStarted() bool { return r.Meta[MetaWarmStart] == "true" }
+
+func (r *Record) metaInt(key string) (int, bool) {
+	v, present := r.Meta[key]
+	if !present {
+		return 0, false
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
 // Ranked pairs a zoo record with its divergence from a query PDF.

@@ -1,6 +1,7 @@
 // Package loadgen is a closed-loop load generator for a live dmsd: a pool
 // of workers drives the daemon with a weighted mix of the serving-path
-// operations (batch ingest, certainty, nearest-label, recommend), measures
+// operations (batch ingest, certainty, nearest-label, recommend, and
+// end-to-end server-side train jobs), measures
 // client-side latency into lock-free histograms (internal/hdrhist), and
 // emits a machine-readable report — the BENCH_dmsapi.json artifact that
 // records the serving tier's performance trajectory across PRs.
@@ -38,15 +39,19 @@ type Op string
 // The drivable operations. OpIngestBatch lands BatchSize documents per
 // request through /v1/data/ingest:batch; the read ops exercise the three
 // serving paths of the paper's action loop (certainty trigger, nearest
-// label reuse, model recommendation).
+// label reuse, model recommendation). OpTrain submits one small inline
+// /v1/train job and polls it to a terminal state, so its latency is the
+// end-to-end server-side training time (queue wait included) — weight it
+// low: every completed job also registers a checkpoint in the zoo.
 const (
 	OpIngestBatch Op = "ingest_batch"
 	OpCertainty   Op = "certainty"
 	OpNearest     Op = "nearest"
 	OpRecommend   Op = "recommend"
+	OpTrain       Op = "train"
 )
 
-var allOps = []Op{OpIngestBatch, OpCertainty, OpNearest, OpRecommend}
+var allOps = []Op{OpIngestBatch, OpCertainty, OpNearest, OpRecommend, OpTrain}
 
 // Config tunes a load-generation run. Zero values pick defaults.
 type Config struct {
@@ -57,9 +62,14 @@ type Config struct {
 	// Duration bounds the measured phase (default 5s).
 	Duration time.Duration
 	// Mix weights operations (default 1:2:4:4 ingest:certainty:nearest:
-	// recommend — reads dominate, as in the paper's serving phase). Ops
-	// with weight <= 0 are excluded.
+	// recommend — reads dominate, as in the paper's serving phase; train
+	// is excluded by default because each op runs a whole training job).
+	// Ops with weight <= 0 are excluded.
 	Mix map[Op]int
+	// TrainEpochs caps each train op's job (default 3 — enough to cross
+	// the whole submit→queue→train→register path without dominating the
+	// run).
+	TrainEpochs int
 	// BatchSize is documents per ingest_batch request (default 64).
 	BatchSize int
 	// QuerySize is samples per certainty/nearest request (default 8).
@@ -98,6 +108,9 @@ func (c *Config) defaults() error {
 	}
 	if c.SetupDocs <= 0 {
 		c.SetupDocs = 256
+	}
+	if c.TrainEpochs <= 0 {
+		c.TrainEpochs = 3
 	}
 	if len(c.Mix) == 0 {
 		c.Mix = map[Op]int{OpIngestBatch: 1, OpCertainty: 2, OpNearest: 4, OpRecommend: 4}
@@ -382,6 +395,35 @@ func runOp(client *dmsapi.Client, op Op, cfg Config, rng *rand.Rand, pool []*cod
 		// server's response LRU, so latency measures zoo ranking.
 		_, err := client.Recommend(perturbPDF(rng, seedPDF), 0)
 		return 0, err
+	case OpTrain:
+		// One whole server-side training job, submit to terminal state.
+		// The auto-derived model ID keeps repeated ops from colliding in
+		// the zoo. A 429 on submit is the trainer's designed backpressure
+		// (worker pool + queue smaller than the bench's concurrency), not
+		// a failure — the op records the shed round trip and moves on.
+		job, err := client.SubmitTrain(dmsapi.TrainRequest{
+			Samples:   dmsapi.FromCodecSlice(window(cfg.QuerySize)),
+			Model:     "mlp",
+			Hidden:    16,
+			Epochs:    cfg.TrainEpochs,
+			BatchSize: 16,
+			Seed:      rng.Int63(),
+		})
+		var se *dmsapi.StatusError
+		if errors.As(err, &se) && se.Code == 429 {
+			return 0, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		job, err = client.WaitTrain(job.ID, 10*time.Millisecond, 2*time.Minute)
+		if err != nil {
+			return 0, err
+		}
+		if job.State != "done" {
+			return 0, fmt.Errorf("loadgen: train job %s ended %s: %s", job.ID, job.State, job.Error)
+		}
+		return 0, nil
 	default:
 		return 0, fmt.Errorf("loadgen: unknown op %q", op)
 	}

@@ -54,7 +54,7 @@ func startDaemon(t *testing.T) string {
 		t.Fatal(err)
 	}
 	srv, err := dmsapi.NewServer(dmsapi.ServerConfig{
-		DS: ds, Zoo: fairms.NewZoo(), BootstrapK: 4,
+		DS: ds, Zoo: fairms.NewZoo(), BootstrapK: 4, TrainWorkers: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -123,6 +123,50 @@ func TestRunMixedWorkload(t *testing.T) {
 	}
 }
 
+// TestRunTrainOp drives the server-side training path: a low-weight train
+// op in the mix must complete jobs end to end (submit → poll → done) with
+// zero errors and record their latency like any other op.
+func TestRunTrainOp(t *testing.T) {
+	addr := startDaemon(t)
+	rep, err := Run(Config{
+		Addr:        addr,
+		Workers:     2,
+		Duration:    600 * time.Millisecond,
+		Mix:         map[Op]int{OpNearest: 2, OpTrain: 1},
+		QuerySize:   8,
+		SetupDocs:   64,
+		TrainEpochs: 2,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalErrors != 0 {
+		t.Fatalf("run produced %d errors: %+v", rep.TotalErrors, rep.Ops)
+	}
+	st, ok := rep.Ops[string(OpTrain)]
+	if !ok || st.Count == 0 {
+		t.Fatalf("train op missing from report or never ran: %+v", rep.Ops)
+	}
+	if st.P50MS <= 0 {
+		t.Fatalf("train op latency not recorded: %+v", st)
+	}
+	// Each completed job registered a checkpoint, and the /statsz delta
+	// covers the submit/get traffic.
+	client, err := dmsapi.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	stats, err := client.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Train == nil || stats.Train.Completed < st.Count {
+		t.Fatalf("server train gauges %+v, want >= %d completed", stats.Train, st.Count)
+	}
+}
+
 // TestReportRoundTripsAsJSON pins the BENCH_dmsapi.json contract: the file
 // is valid JSON carrying throughput and p50/p95/p99 for every op in the mix.
 func TestReportRoundTripsAsJSON(t *testing.T) {
@@ -173,11 +217,11 @@ func TestReportRoundTripsAsJSON(t *testing.T) {
 }
 
 func TestParseMix(t *testing.T) {
-	mix, err := ParseMix("ingest_batch:1, certainty:2,nearest:0,recommend:5")
+	mix, err := ParseMix("ingest_batch:1, certainty:2,nearest:0,recommend:5,train:1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[Op]int{OpIngestBatch: 1, OpCertainty: 2, OpNearest: 0, OpRecommend: 5}
+	want := map[Op]int{OpIngestBatch: 1, OpCertainty: 2, OpNearest: 0, OpRecommend: 5, OpTrain: 1}
 	for op, w := range want {
 		if mix[op] != w {
 			t.Fatalf("mix[%s] = %d, want %d", op, mix[op], w)

@@ -20,6 +20,17 @@ type TrainConfig struct {
 	ClipNorm   float64 // gradient clipping threshold (0 disables)
 	Seed       int64   // shuffling seed
 	Loss       LossFunc
+
+	// OnEpoch, when set, receives each completed epoch (1-based) with its
+	// train and validation losses — the live progress feed of an async
+	// training job. Returning false stops training after that epoch.
+	// Leaving it nil changes nothing about the run.
+	OnEpoch func(epoch int, trainLoss, valLoss float64) bool
+	// Stop, when set, is polled before every mini-batch; a true return
+	// aborts the run immediately, mid-epoch, without recording the partial
+	// epoch (TrainResult.Stopped reports the abort). Leaving it nil changes
+	// nothing about the run.
+	Stop func() bool
 }
 
 // TrainResult records per-epoch losses and where training stopped.
@@ -28,6 +39,7 @@ type TrainResult struct {
 	ValLoss   []float64
 	Epochs    int  // epochs actually run
 	Converged bool // true if TargetLoss was reached
+	Stopped   bool // true if TrainConfig.Stop aborted the run mid-epoch
 }
 
 // ConvergedAt returns the first epoch (1-based) whose validation loss is at
@@ -78,6 +90,10 @@ func Fit(model *Model, opt Optimizer, x, y, valX, valY *tensor.Tensor, cfg Train
 		epochLoss := 0.0
 		batches := 0
 		for lo := 0; lo < n; lo += cfg.BatchSize {
+			if cfg.Stop != nil && cfg.Stop() {
+				res.Stopped = true
+				return res
+			}
 			hi := lo + cfg.BatchSize
 			if hi > n {
 				hi = n
@@ -95,14 +111,22 @@ func Fit(model *Model, opt Optimizer, x, y, valX, valY *tensor.Tensor, cfg Train
 			epochLoss += loss
 			batches++
 		}
-		res.TrainLoss = append(res.TrainLoss, epochLoss/float64(batches))
+		trainLoss := epochLoss / float64(batches)
+		res.TrainLoss = append(res.TrainLoss, trainLoss)
 
 		val := Evaluate(model, valX, valY, cfg.Loss)
 		res.ValLoss = append(res.ValLoss, val)
 		res.Epochs = epoch + 1
 
+		// The progress hook sees every completed epoch, including the one
+		// that converges; its stop request only matters if the run was going
+		// to continue anyway.
+		hookStop := cfg.OnEpoch != nil && !cfg.OnEpoch(epoch+1, trainLoss, val)
 		if cfg.TargetLoss > 0 && val <= cfg.TargetLoss {
 			res.Converged = true
+			break
+		}
+		if hookStop {
 			break
 		}
 		if val < bestVal-1e-12 {

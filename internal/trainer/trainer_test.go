@@ -1,0 +1,469 @@
+package trainer
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fairdms/internal/codec"
+	"fairdms/internal/docstore"
+	"fairdms/internal/embed"
+	"fairdms/internal/fairds"
+	"fairdms/internal/fairms"
+)
+
+const (
+	testFeatures = 8
+	testHidden   = 16
+)
+
+// meanSamples builds labeled samples whose label is the feature mean — a
+// problem a small MLP learns quickly and deterministically.
+func meanSamples(seed int64, n int) []*codec.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*codec.Sample, n)
+	for i := range out {
+		vals := make([]float64, testFeatures)
+		sum := 0.0
+		for j := range vals {
+			vals[j] = rng.Float64()
+			sum += vals[j]
+		}
+		out[i] = codec.SampleFromFloats(vals, []int{testFeatures}, codec.F64,
+			[]float64{sum / testFeatures})
+	}
+	return out
+}
+
+// newFixture builds a fitted data service, an empty zoo, and a started
+// manager over them.
+func newFixture(t *testing.T, workers, queue int) (*Manager, *fairds.Service, *fairms.Zoo) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	ds, err := fairds.New(
+		embed.NewAutoencoder(rng, testFeatures, 16, 4),
+		docstore.NewStore().Collection("trainer-test"),
+		fairds.Config{Seed: 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := fairds.Collate(meanSamples(99, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.FitClustersK(x, 2); err != nil {
+		t.Fatal(err)
+	}
+	zoo := fairms.NewZoo()
+	m, err := New(Config{DS: ds, Zoo: zoo, Workers: workers, Queue: queue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := m.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return m, ds, zoo
+}
+
+// waitState polls a job until pred holds or the deadline passes.
+func waitState(t *testing.T, m *Manager, id string, timeout time.Duration, pred func(*Status) bool) *Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not reach the expected state in %v; last: %+v", id, timeout, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func waitTerminal(t *testing.T, m *Manager, id string) *Status {
+	t.Helper()
+	return waitState(t, m, id, 60*time.Second, func(st *Status) bool { return st.State.Terminal() })
+}
+
+// mlpSpec is the shared small training job used across tests.
+func mlpSpec(samples []*codec.Sample) Spec {
+	return Spec{
+		Samples:    samples,
+		Model:      ModelMLP,
+		Hidden:     testHidden,
+		Epochs:     400,
+		BatchSize:  16,
+		LR:         0.01,
+		TargetLoss: 5e-3,
+		Seed:       7,
+	}
+}
+
+// TestColdThenWarm runs the acceptance scenario at the manager level: a
+// cold-started job converges and registers; a second job on the same data
+// warm-starts from it, carries parent lineage, and converges in fewer
+// epochs (the Figs. 13–14 claim).
+func TestColdThenWarm(t *testing.T) {
+	m, _, zoo := newFixture(t, 2, 8)
+	data := meanSamples(1, 80)
+
+	spec := mlpSpec(data)
+	spec.ModelID = "cold-model"
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := waitTerminal(t, m, st.ID)
+	if cold.State != StateDone {
+		t.Fatalf("cold job ended %s: %s", cold.State, cold.Err)
+	}
+	if cold.Warm {
+		t.Fatal("first job warm-started against an empty zoo")
+	}
+	if !cold.Converged || cold.Epochs < 2 {
+		t.Fatalf("cold job should converge after >= 2 epochs, got converged=%v epochs=%d",
+			cold.Converged, cold.Epochs)
+	}
+	if len(cold.TrainLoss) != cold.Epochs || len(cold.ValLoss) != cold.Epochs {
+		t.Fatalf("loss curves (%d, %d) do not match %d epochs",
+			len(cold.TrainLoss), len(cold.ValLoss), cold.Epochs)
+	}
+	rec, err := zoo.Get("cold-model")
+	if err != nil {
+		t.Fatalf("cold checkpoint not registered: %v", err)
+	}
+	if rec.WarmStarted() || rec.Parent() != "" {
+		t.Fatalf("cold lineage wrong: %+v", rec.Meta)
+	}
+	if n, ok := rec.Epochs(); !ok || n != cold.Epochs {
+		t.Fatalf("lineage epochs %d/%v, want %d", n, ok, cold.Epochs)
+	}
+	if e, ok := rec.ConvergedAt(); !ok || e != cold.ConvergedAt {
+		t.Fatalf("lineage converged_at %d/%v, want %d", e, ok, cold.ConvergedAt)
+	}
+
+	spec.ModelID = "warm-model"
+	st, err = m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := waitTerminal(t, m, st.ID)
+	if warm.State != StateDone {
+		t.Fatalf("warm job ended %s: %s", warm.State, warm.Err)
+	}
+	if !warm.Warm || warm.Foundation != "cold-model" {
+		t.Fatalf("second job should warm-start from cold-model, got warm=%v foundation=%q",
+			warm.Warm, warm.Foundation)
+	}
+	if !warm.Converged || warm.Epochs >= cold.Epochs {
+		t.Fatalf("warm start should converge in fewer epochs: warm %d vs cold %d (converged=%v)",
+			warm.Epochs, cold.Epochs, warm.Converged)
+	}
+	wrec, err := zoo.Get("warm-model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wrec.WarmStarted() || wrec.Parent() != "cold-model" {
+		t.Fatalf("warm lineage wrong: %+v", wrec.Meta)
+	}
+
+	stats := m.Stats()
+	if stats.Completed != 2 || stats.WarmStarts != 1 || stats.ColdStarts != 1 {
+		t.Fatalf("stats %+v, want 2 completed / 1 warm / 1 cold", stats)
+	}
+}
+
+// TestDatasetSelector trains on an already-ingested dataset tag instead of
+// inline samples.
+func TestDatasetSelector(t *testing.T) {
+	m, ds, _ := newFixture(t, 1, 4)
+	if _, err := ds.IngestLabeled(meanSamples(2, 48), "scan-07"); err != nil {
+		t.Fatal(err)
+	}
+	spec := mlpSpec(nil)
+	spec.Dataset = "scan-07"
+	spec.Epochs = 5
+	spec.TargetLoss = 0
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("dataset job ended %s: %s", final.State, final.Err)
+	}
+	if final.Samples != 48 || final.Dataset != "scan-07" {
+		t.Fatalf("resolved %d samples from %q, want 48 from scan-07", final.Samples, final.Dataset)
+	}
+}
+
+// TestQueueSaturation fills the worker and the queue, then asserts the
+// next submission is rejected with ErrQueueFull (the API's 429).
+func TestQueueSaturation(t *testing.T) {
+	m, _, _ := newFixture(t, 1, 1)
+	release := make(chan struct{})
+	var once sync.Once
+	m.testHookBeforeTrain = func(string) { <-release }
+	defer once.Do(func() { close(release) })
+
+	spec := mlpSpec(meanSamples(3, 32))
+	spec.Epochs = 2
+	spec.TargetLoss = 0
+	running, err := m.Submit(spec) // occupies the single worker
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID, 10*time.Second, func(st *Status) bool { return st.State == StateRunning })
+
+	queued, err := m.Submit(spec) // fills the single queue slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(spec); err == nil || !strings.Contains(err.Error(), "queue full") {
+		t.Fatalf("third submit should hit ErrQueueFull, got %v", err)
+	}
+	if st := m.Stats(); st.QueueDepth != 1 || st.Active != 1 {
+		t.Fatalf("stats %+v, want depth 1 / active 1", st)
+	}
+
+	once.Do(func() { close(release) })
+	if st := waitTerminal(t, m, running.ID); st.State != StateDone {
+		t.Fatalf("running job ended %s: %s", st.State, st.Err)
+	}
+	if st := waitTerminal(t, m, queued.ID); st.State != StateDone {
+		t.Fatalf("queued job ended %s: %s", st.State, st.Err)
+	}
+}
+
+// TestCancelMidRun cancels a long-running job and expects it to stop
+// promptly (mid-epoch) without registering a checkpoint.
+func TestCancelMidRun(t *testing.T) {
+	m, _, zoo := newFixture(t, 1, 4)
+	spec := mlpSpec(meanSamples(4, 256))
+	spec.BatchSize = 4
+	spec.Epochs = 10_000_000 // far longer than the test will allow
+	spec.TargetLoss = 0
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st.ID, 10*time.Second, func(s *Status) bool { return s.State == StateRunning })
+
+	begin := time.Now()
+	if _, err := m.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, m, st.ID, 5*time.Second, func(s *Status) bool { return s.State.Terminal() })
+	if final.State != StateCanceled {
+		t.Fatalf("canceled job ended %s: %s", final.State, final.Err)
+	}
+	if wait := time.Since(begin); wait > 3*time.Second {
+		t.Fatalf("cancellation took %v, want mid-epoch promptness", wait)
+	}
+	if final.ModelID != "" || zoo.Len() != 0 {
+		t.Fatal("canceled job must not register a checkpoint")
+	}
+	if m.Stats().Canceled != 1 {
+		t.Fatalf("stats %+v, want 1 canceled", m.Stats())
+	}
+
+	// Canceling a terminal job is a no-op returning the final status.
+	again, err := m.Cancel(st.ID)
+	if err != nil || again.State != StateCanceled {
+		t.Fatalf("re-cancel: %v, %+v", err, again)
+	}
+}
+
+// TestCancelQueued cancels a job before any worker picks it up and
+// asserts the cancellation releases its queue slot immediately (a
+// canceled tombstone must not keep shedding new submissions).
+func TestCancelQueued(t *testing.T) {
+	m, _, _ := newFixture(t, 1, 1)
+	release := make(chan struct{})
+	m.testHookBeforeTrain = func(string) { <-release }
+	defer close(release)
+
+	spec := mlpSpec(meanSamples(5, 32))
+	spec.Epochs = 2
+	spec.TargetLoss = 0
+	blocker, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, blocker.ID, 10*time.Second, func(s *Status) bool { return s.State == StateRunning })
+	queued, err := m.Submit(spec) // fills the single queue slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Cancel(queued.ID)
+	if err != nil || st.State != StateCanceled {
+		t.Fatalf("cancel queued: %v, state %s", err, st.State)
+	}
+	if depth := m.Stats().QueueDepth; depth != 0 {
+		t.Fatalf("queue depth %d after canceling the only queued job", depth)
+	}
+	// The freed slot accepts new work while the worker is still blocked.
+	refill, err := m.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit after queued-cancel should reuse the slot: %v", err)
+	}
+	if st, err := m.Get(refill.ID); err != nil || st.State != StateQueued {
+		t.Fatalf("refill job: %v, state %+v", err, st)
+	}
+}
+
+// TestPanicSafety asserts a panicking job is marked failed and the worker
+// keeps serving subsequent jobs.
+func TestPanicSafety(t *testing.T) {
+	m, _, _ := newFixture(t, 1, 4)
+	armed := true
+	m.testHookBeforeTrain = func(id string) {
+		if armed {
+			armed = false
+			panic("injected crash in job " + id)
+		}
+	}
+
+	spec := mlpSpec(meanSamples(6, 32))
+	spec.Epochs = 3
+	spec.TargetLoss = 0
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := waitTerminal(t, m, st.ID)
+	if failed.State != StateFailed || !strings.Contains(failed.Err, "panic") {
+		t.Fatalf("panicking job ended %s: %q", failed.State, failed.Err)
+	}
+
+	// The worker must have survived: the next job completes.
+	st, err = m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitTerminal(t, m, st.ID); final.State != StateDone {
+		t.Fatalf("post-panic job ended %s: %s", final.State, final.Err)
+	}
+	if s := m.Stats(); s.Failed != 1 || s.Completed != 1 {
+		t.Fatalf("stats %+v, want 1 failed / 1 completed", s)
+	}
+}
+
+// TestSubmitValidation covers the synchronous rejections.
+func TestSubmitValidation(t *testing.T) {
+	m, _, _ := newFixture(t, 1, 2)
+	if _, err := m.Submit(Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := m.Submit(Spec{Dataset: "x", Model: "transformer"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	unlabeled := meanSamples(7, 4)
+	unlabeled[2].Label = nil
+	if _, err := m.Submit(Spec{Samples: unlabeled, Model: ModelMLP}); err == nil {
+		t.Fatal("unlabeled inline sample accepted")
+	}
+	if _, err := m.Get("job-999999"); err == nil {
+		t.Fatal("unknown job id accepted")
+	}
+	if _, err := m.Cancel("job-999999"); err == nil {
+		t.Fatal("cancel of unknown job accepted")
+	}
+}
+
+// TestHistoryPruning asserts old terminal jobs are forgotten past the
+// history cap, so a long-lived manager's footprint stays flat.
+func TestHistoryPruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds, err := fairds.New(
+		embed.NewAutoencoder(rng, testFeatures, 16, 4),
+		docstore.NewStore().Collection("trainer-history"),
+		fairds.Config{Seed: 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := fairds.Collate(meanSamples(99, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.FitClustersK(x, 2); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{DS: ds, Zoo: fairms.NewZoo(), Workers: 1, Queue: 8, History: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+
+	spec := mlpSpec(meanSamples(9, 16))
+	spec.Epochs = 1
+	spec.TargetLoss = 0
+	var first, last string
+	for i := 0; i < 5; i++ {
+		st, err := m.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = st.ID
+		}
+		last = st.ID
+		if final := waitTerminal(t, m, st.ID); final.State != StateDone {
+			t.Fatalf("job %d ended %s: %s", i, final.State, final.Err)
+		}
+	}
+	if got := len(m.List()); got > 3 {
+		t.Fatalf("history holds %d jobs, cap is 3", got)
+	}
+	if _, err := m.Get(first); err == nil {
+		t.Fatalf("oldest job %s survived pruning", first)
+	}
+	if _, err := m.Get(last); err != nil {
+		t.Fatalf("newest job %s was pruned: %v", last, err)
+	}
+}
+
+// TestShutdownRejectsSubmit asserts a shut-down manager refuses new work.
+func TestShutdownRejectsSubmit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds, err := fairds.New(
+		embed.NewAutoencoder(rng, testFeatures, 16, 4),
+		docstore.NewStore().Collection("trainer-shutdown"),
+		fairds.Config{Seed: 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{DS: ds, Zoo: fairms.NewZoo(), Workers: 1, Queue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(mlpSpec(meanSamples(8, 8))); err == nil {
+		t.Fatal("submit accepted after shutdown")
+	}
+}
