@@ -1,0 +1,123 @@
+// Command fairvet is the repo's multichecker: it runs the custom analyzer
+// suite under internal/analyzers over module packages and exits non-zero
+// on any finding. It is a required CI gate (after go vet, before tests).
+//
+// Usage:
+//
+//	go run ./cmd/fairvet ./...              # whole module
+//	go run ./cmd/fairvet ./internal/dmsapi  # one package
+//	go run ./cmd/fairvet -only wiretags,guardedby ./...
+//	go run ./cmd/fairvet -list
+//
+// Exit status: 0 clean, 1 findings, 2 infrastructure failure (unloadable
+// package, type error, unknown analyzer).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fairdms/internal/analyzers"
+	"fairdms/internal/analyzers/anzkit"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fairvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "module root (or any directory inside it)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer subset to run")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*anzkit.Analyzer, len(suite))
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var picked []*anzkit.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "fairvet: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := findModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "fairvet: %v\n", err)
+		return 2
+	}
+	loader, err := anzkit.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "fairvet: %v\n", err)
+		return 2
+	}
+	paths, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "fairvet: %v\n", err)
+		return 2
+	}
+	diags, err := loader.Run(suite, paths)
+	if err != nil {
+		fmt.Fprintf(stderr, "fairvet: %v\n", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		// Print paths relative to the module root for stable, clickable
+		// output in CI logs.
+		pos := d.Pos
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	fmt.Fprintf(stderr, "fairvet: %d finding(s)\n", len(diags))
+	return 1
+}
+
+// findModuleRoot walks upward from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

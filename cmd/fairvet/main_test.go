@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFixtureModule smoke-tests the driver end to end against a tiny
+// module: one live violation (reported, exit 1) and one suppressed by
+// //lint:ignore (absent from the output).
+func TestFixtureModule(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-dir", "testdata/fixturemod", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"bad/bad.go:9:", "cannot fsync", "(fsyncrename)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stdout missing %q:\n%s", want, got)
+		}
+	}
+	if n := strings.Count(got, "(fsyncrename)"); n != 1 {
+		t.Errorf("got %d findings, want 1 (the Scratch one is lint:ignored):\n%s", n, got)
+	}
+	if !strings.Contains(errb.String(), "1 finding(s)") {
+		t.Errorf("stderr missing summary: %s", errb.String())
+	}
+}
+
+func TestCleanModule(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-dir", "testdata/cleanmod", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean module produced output:\n%s", out.String())
+	}
+}
+
+func TestList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"atomicstat", "errboundary", "fsyncrename", "guardedby", "wiretags"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-only", "nosuch", "-dir", "testdata/cleanmod", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2 (infrastructure failure)", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %s", errb.String())
+	}
+}

@@ -1,0 +1,5 @@
+// Fixture module with nothing to flag.
+package ok
+
+// Add sums two ints.
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,16 @@
+// Fixture module for the fairvet smoke test: exactly one live violation
+// plus one suppressed by the escape hatch.
+package bad
+
+import "os"
+
+// Save persists data without fsync — the violation fairvet must report.
+func Save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Scratch writes a throwaway file a crash may truncate harmlessly.
+func Scratch(path string) error {
+	//lint:ignore fsyncrename scratch output, losing it on crash is fine
+	return os.WriteFile(path, []byte("scratch"), 0o644)
+}

@@ -1,0 +1,116 @@
+// Package analysistest runs an anzkit analyzer over fixture packages and
+// checks its findings against "// want" expectations, replicating the
+// golang.org/x/tools/go/analysis/analysistest convention:
+//
+//	var x = racy // want `accessed atomically elsewhere`
+//
+// Each want comment carries one or more backquoted regular expressions;
+// every reported diagnostic must match a want on its line, and every want
+// must be matched by a diagnostic. Fixtures live under
+// <testdata>/src/<importpath>/ and may import the standard library and
+// each other.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"fairdms/internal/analyzers/anzkit"
+)
+
+// Run loads each fixture package from testdata/src and applies the
+// analyzer, failing t on any mismatch between findings and want comments.
+// It returns the surviving diagnostics for additional assertions.
+func Run(t *testing.T, testdata string, a *anzkit.Analyzer, pkgPaths ...string) []anzkit.Diagnostic {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader, err := anzkit.NewLoader("")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader.SrcDirs = []string{src}
+
+	var all []anzkit.Diagnostic
+	for _, path := range pkgPaths {
+		diags, err := loader.Run([]*anzkit.Analyzer{a}, []string{path})
+		if err != nil {
+			t.Fatalf("analysistest: running %s on %s: %v", a.Name, path, err)
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		checkWants(t, loader.Fset, pkg.Files, diags)
+		all = append(all, diags...)
+	}
+	return all
+}
+
+// expectation is one backquoted regexp from a want comment.
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+// checkWants cross-checks diagnostics against the fixture's want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []anzkit.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*expectation) // "file:line" → expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				matches := wantRe.FindAllStringSubmatch(text[idx+len("want "):], -1)
+				if len(matches) == 0 {
+					t.Errorf("%s: want comment without a backquoted pattern", key)
+					continue
+				}
+				for _, m := range matches {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", key, m[1], err)
+						continue
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.rx.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: no diagnostic matching %q", key, exp.rx)
+			}
+		}
+	}
+}

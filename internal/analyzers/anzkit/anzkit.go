@@ -1,0 +1,192 @@
+// Package anzkit is a self-contained static-analysis kit in the spirit of
+// golang.org/x/tools/go/analysis, built only on the standard library so the
+// repo's analyzers (cmd/fairvet) need no network or module downloads. It
+// mirrors the pieces of the upstream framework fairvet needs:
+//
+//   - Analyzer / Pass / Diagnostic, the unit of checking (anzkit.go);
+//   - a package loader that parses and type-checks module packages offline,
+//     resolving stdlib imports from $GOROOT source and module-internal
+//     imports recursively from the repo tree (loader.go);
+//   - a runner that expands "./..."-style patterns and applies a suite of
+//     analyzers to the loaded packages (runner.go);
+//   - a fixture harness replicating analysistest's "// want" convention
+//     (analysistest/).
+//
+// Suppression: a comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the flagged line or the line directly above it silences those
+// analyzers there; `//lint:file-ignore <analyzer> <reason>` anywhere in a
+// file silences the analyzer for the whole file. A reason is mandatory —
+// directives without one are reported as diagnostics themselves.
+package anzkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis: a named invariant plus the function
+// that checks a single package for violations of it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and lint:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects the package behind pass and reports violations via
+	// pass.Reportf. A returned error aborts the whole run (reserved for
+	// analyzer bugs, not findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass connects an Analyzer to the single package it is checking.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's syntax, comments included.
+	Files []*ast.File
+	// Pkg and Info are the type-checked forms.
+	Pkg  *types.Package
+	Info *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// A Diagnostic is one finding: a position, a message, and the analyzer
+// that raised it.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// sortDiagnostics orders findings by file, line, column, then analyzer,
+// for deterministic output.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// ignoreTable holds the suppression directives of one package.
+type ignoreTable struct {
+	// line maps filename → line → analyzer names ignored on that line and
+	// the next.
+	line map[string]map[int][]string
+	// file maps filename → analyzer names ignored across the file.
+	file map[string][]string
+	// malformed directives (missing reason) become diagnostics.
+	malformed []Diagnostic
+}
+
+const (
+	ignorePrefix     = "lint:ignore "
+	fileIgnorePrefix = "lint:file-ignore "
+)
+
+// buildIgnoreTable scans a package's comments for lint:ignore directives.
+func buildIgnoreTable(fset *token.FileSet, files []*ast.File) *ignoreTable {
+	t := &ignoreTable{
+		line: make(map[string]map[int][]string),
+		file: make(map[string][]string),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				var names []string
+				var ok bool
+				var whole bool
+				switch {
+				case strings.HasPrefix(text, ignorePrefix):
+					names, ok = parseIgnore(strings.TrimPrefix(text, ignorePrefix))
+				case strings.HasPrefix(text, fileIgnorePrefix):
+					names, ok = parseIgnore(strings.TrimPrefix(text, fileIgnorePrefix))
+					whole = true
+				default:
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if !ok {
+					t.malformed = append(t.malformed, Diagnostic{
+						Pos:      pos,
+						Message:  "malformed lint directive: want //lint:ignore <analyzer> <reason>",
+						Analyzer: "anzkit",
+					})
+					continue
+				}
+				if whole {
+					t.file[pos.Filename] = append(t.file[pos.Filename], names...)
+					continue
+				}
+				m := t.line[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					t.line[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], names...)
+			}
+		}
+	}
+	return t
+}
+
+// parseIgnore splits "name1,name2 reason..." into analyzer names, failing
+// when no reason follows.
+func parseIgnore(rest string) ([]string, bool) {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 { // names + at least one reason word
+		return nil, false
+	}
+	return strings.Split(fields[0], ","), true
+}
+
+// suppressed reports whether d is silenced by a directive: a matching
+// file-ignore, or a matching line directive on d's line or the line above.
+func (t *ignoreTable) suppressed(d Diagnostic) bool {
+	match := func(names []string) bool {
+		for _, n := range names {
+			if n == d.Analyzer || n == "all" {
+				return true
+			}
+		}
+		return false
+	}
+	if match(t.file[d.Pos.Filename]) {
+		return true
+	}
+	m := t.line[d.Pos.Filename]
+	if m == nil {
+		return false
+	}
+	return match(m[d.Pos.Line]) || match(m[d.Pos.Line-1])
+}

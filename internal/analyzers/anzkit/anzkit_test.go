@@ -1,0 +1,77 @@
+package anzkit
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+//lint:file-ignore wiretags generated file
+var a int
+
+//lint:ignore atomicstat,guardedby benign startup read
+var b int
+
+//lint:ignore errboundary
+var c int
+
+//lint:ignore all refactor tracked in the roadmap
+var d int
+`
+
+func buildTable(t *testing.T) (*token.FileSet, *ignoreTable) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, buildIgnoreTable(fset, []*ast.File{f})
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	_, tbl := buildTable(t)
+	if len(tbl.malformed) != 1 {
+		t.Fatalf("malformed = %v, want exactly the reason-less errboundary directive", tbl.malformed)
+	}
+	if got := tbl.malformed[0].Pos.Line; got != 9 {
+		t.Fatalf("malformed directive reported at line %d, want 9", got)
+	}
+}
+
+func TestSuppressed(t *testing.T) {
+	_, tbl := buildTable(t)
+	at := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{Pos: token.Position{Filename: "p.go", Line: line}, Analyzer: analyzer}
+	}
+	cases := []struct {
+		d    Diagnostic
+		want bool
+		why  string
+	}{
+		{at(999, "wiretags"), true, "file-ignore covers any line"},
+		{at(7, "atomicstat"), true, "directive on the line above"},
+		{at(6, "guardedby"), true, "directive on the same line"},
+		{at(7, "fsyncrename"), false, "directive names other analyzers"},
+		{at(10, "errboundary"), false, "malformed directive must not suppress"},
+		{at(13, "errboundary"), true, "'all' suppresses every analyzer"},
+		{at(7, "atomicstat"), true, "repeat lookup is stable"},
+	}
+	for _, c := range cases {
+		if got := tbl.suppressed(c.d); got != c.want {
+			t.Errorf("suppressed(%s line %d) = %v, want %v (%s)", c.d.Analyzer, c.d.Pos.Line, got, c.want, c.why)
+		}
+	}
+}
+
+func TestParseIgnore(t *testing.T) {
+	if names, ok := parseIgnore("atomicstat,guardedby some reason"); !ok || len(names) != 2 {
+		t.Fatalf("parseIgnore = %v, %v; want two names, ok", names, ok)
+	}
+	if _, ok := parseIgnore("atomicstat"); ok {
+		t.Fatal("directive without a reason must be rejected")
+	}
+}

@@ -1,0 +1,134 @@
+package anzkit
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ExpandPatterns resolves package patterns to import paths under the
+// loader's module. Supported forms: "./..." and "./dir/..." (recursive),
+// "./dir" (single directory), and plain import paths, mirroring the go
+// command's spelling. Directories named testdata or vendor, and hidden
+// directories, are skipped — the same pruning go build applies.
+func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
+	if l.ModuleRoot == "" {
+		return nil, fmt.Errorf("anzkit: pattern expansion needs a module root")
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case strings.HasSuffix(pat, "/..."):
+			rel := strings.TrimSuffix(pat, "/...")
+			rel = strings.TrimPrefix(rel, "./")
+			if rel == "." {
+				rel = ""
+			}
+			root := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+			err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if !hasGoFiles(p) {
+					return nil
+				}
+				relDir, err := filepath.Rel(l.ModuleRoot, p)
+				if err != nil {
+					return err
+				}
+				add(importPathFor(l.ModulePath, relDir))
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("anzkit: expanding %s: %w", pat, err)
+			}
+		case strings.HasPrefix(pat, "./") || pat == ".":
+			rel := strings.TrimPrefix(pat, "./")
+			if rel == "." {
+				rel = ""
+			}
+			add(importPathFor(l.ModulePath, filepath.FromSlash(rel)))
+		default:
+			add(pat)
+		}
+	}
+	return out, nil
+}
+
+func importPathFor(modulePath, relDir string) string {
+	rel := filepath.ToSlash(relDir)
+	if rel == "" || rel == "." {
+		return modulePath
+	}
+	return modulePath + "/" + rel
+}
+
+// hasGoFiles reports whether dir directly contains at least one non-test
+// Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run loads every package and applies every analyzer to it, returning the
+// surviving findings (lint:ignore directives applied) in deterministic
+// order. The error return is for infrastructure failures — unresolvable
+// packages, type errors, analyzer bugs — never for findings.
+func (l *Loader) Run(analyzers []*Analyzer, paths []string) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		ignores := buildIgnoreTable(l.Fset, pkg.Files)
+		all = append(all, ignores.malformed...)
+		for _, a := range analyzers {
+			var found []Diagnostic
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     l.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				report:   func(d Diagnostic) { found = append(found, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("anzkit: analyzer %s on %s: %w", a.Name, path, err)
+			}
+			for _, d := range found {
+				if !ignores.suppressed(d) {
+					all = append(all, d)
+				}
+			}
+		}
+	}
+	sortDiagnostics(all)
+	return all, nil
+}

@@ -1,0 +1,161 @@
+// Package atomicstat flags mixed atomic/plain access to the same variable:
+// any field or package-level variable whose address is passed to a
+// sync/atomic operation anywhere in the package must be accessed through
+// sync/atomic everywhere in the package. A single plain read of an
+// atomically-written counter is a data race the race detector only catches
+// when a test happens to exercise both sides concurrently; this analyzer
+// catches it at CI time, unconditionally.
+//
+// Typed atomics (atomic.Int64 and friends) are immune by construction —
+// their value is unreachable except through Load/Store — and are the
+// repo's preferred spelling; this analyzer exists for the function-style
+// escapes (atomic.AddInt64(&s.n, 1)) that leave the field plainly
+// addressable.
+package atomicstat
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fairdms/internal/analyzers/anzkit"
+)
+
+// Analyzer is the package-level instance registered with fairvet.
+var Analyzer = &anzkit.Analyzer{
+	Name: "atomicstat",
+	Doc:  "variables accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  run,
+}
+
+// atomicFuncs are the sync/atomic operations whose first argument is the
+// address of the shared variable.
+var atomicFuncPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"}
+
+func isAtomicFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, p := range atomicFuncPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *anzkit.Pass) error {
+	// Pass 1: collect every variable whose address feeds a sync/atomic
+	// call, remembering the exact operand expressions so pass 2 does not
+	// count the atomic sites themselves as plain accesses.
+	atomicVars := make(map[types.Object]token.Pos) // var → first atomic site
+	atomicOperands := make(map[ast.Expr]bool)      // the x in atomic.AddT(&x, …)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !isAtomicFunc(fn) {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if obj := addressedVar(pass, addr.X); obj != nil {
+				if _, seen := atomicVars[obj]; !seen {
+					atomicVars[obj] = addr.X.Pos()
+				}
+				atomicOperands[addr.X] = true
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag every other access to those variables.
+	for _, f := range pass.Files {
+		// Idents that are the Sel of a selector are reported via the
+		// selector; skip them in the bare-ident case to avoid doubles.
+		selSels := make(map[*ast.Ident]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if s, ok := n.(*ast.SelectorExpr); ok {
+				selSels[s.Sel] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			if expr, ok := n.(ast.Expr); ok && atomicOperands[expr] {
+				return false // the blessed atomic access itself
+			}
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if obj := selectedVar(pass, n); obj != nil {
+					if _, yes := atomicVars[obj]; yes {
+						report(pass, n.Pos(), obj)
+					}
+				}
+			case *ast.Ident:
+				if selSels[n] {
+					return true
+				}
+				obj := pass.Info.Uses[n]
+				if obj == nil {
+					return true
+				}
+				if _, yes := atomicVars[obj]; yes {
+					report(pass, n.Pos(), obj)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func report(pass *anzkit.Pass, pos token.Pos, obj types.Object) {
+	pass.Reportf(pos, "%s is accessed with sync/atomic elsewhere in this package; this plain access can race — use sync/atomic (or an atomic.Int64-style field) consistently", obj.Name())
+}
+
+// addressedVar resolves the operand of &x in an atomic call to the
+// variable (struct field or package-level var) being shared.
+func addressedVar(pass *anzkit.Pass, x ast.Expr) types.Object {
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		return selectedVar(pass, x)
+	case *ast.Ident:
+		return pass.Info.Uses[x]
+	case *ast.IndexExpr:
+		// &arr[i]: per-element atomics (e.g. a bucket array). Track the
+		// backing variable so plain whole-array reads are still flagged.
+		return addressedVar(pass, x.X)
+	}
+	return nil
+}
+
+// selectedVar resolves x.f to the field variable f, or nil when the
+// selector is a method or package-qualified name.
+func selectedVar(pass *anzkit.Pass, sel *ast.SelectorExpr) types.Object {
+	if s, ok := pass.Info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	// Package-qualified: pkg.Var.
+	if _, ok := sel.X.(*ast.Ident); ok {
+		if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

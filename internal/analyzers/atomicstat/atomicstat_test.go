@@ -1,0 +1,27 @@
+package atomicstat_test
+
+import (
+	"testing"
+
+	"fairdms/internal/analyzers/anzkit/analysistest"
+	"fairdms/internal/analyzers/atomicstat"
+)
+
+func TestAtomicStat(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicstat.Analyzer, "a")
+}
+
+// TestEscapeHatch checks that a //lint:ignore atomicstat directive
+// silences exactly the annotated access and nothing else.
+func TestEscapeHatch(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", atomicstat.Analyzer, "ignored")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the unsuppressed one: %v", len(diags), diags)
+	}
+}
+
+func TestClean(t *testing.T) {
+	if diags := analysistest.Run(t, "testdata", atomicstat.Analyzer, "clean"); len(diags) != 0 {
+		t.Fatalf("clean fixture produced diagnostics: %v", diags)
+	}
+}

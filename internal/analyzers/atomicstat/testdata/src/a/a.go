@@ -1,0 +1,27 @@
+// Fixture: mixed atomic/plain access, both through a struct field and a
+// package-level variable. Every plain access is a finding.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.n // want `n is accessed with sync/atomic elsewhere`
+}
+
+var hits int64
+
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func report() int64 {
+	return hits // want `hits is accessed with sync/atomic elsewhere`
+}

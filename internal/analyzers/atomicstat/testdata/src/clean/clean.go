@@ -1,0 +1,24 @@
+// Fixture: consistent atomic access and typed atomics — nothing to flag.
+package clean
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	typed atomic.Int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+	c.typed.Add(1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.n) + c.typed.Load()
+}
+
+var plain int64
+
+func bumpPlain() {
+	plain++ // never touched by sync/atomic: plain access is fine
+}

@@ -1,0 +1,21 @@
+// Fixture: the lint:ignore escape hatch. The suppressed access produces
+// no diagnostic; the unsuppressed one still does, proving the analyzer
+// fires and only the directive silences it.
+package ignored
+
+import "sync/atomic"
+
+var gauge int64
+
+func set(v int64) {
+	atomic.StoreInt64(&gauge, v)
+}
+
+func leak() int64 {
+	return gauge // want `gauge is accessed with sync/atomic elsewhere`
+}
+
+func boot() int64 {
+	//lint:ignore atomicstat runs before any writer goroutine starts
+	return gauge
+}

@@ -1,0 +1,26 @@
+package errboundary_test
+
+import (
+	"testing"
+
+	"fairdms/internal/analyzers/anzkit/analysistest"
+	"fairdms/internal/analyzers/errboundary"
+)
+
+// fixtureAnalyzer swaps the repo's sentinel contract for the fixture
+// module's, exercising the same code paths over a tiny dependency graph.
+var fixtureAnalyzer = errboundary.NewAnalyzer(errboundary.Config{
+	Sentinels: []errboundary.Sentinel{
+		{PkgSuffix: "fairmod/svc", Name: "ErrMissing", Status: "404 Not Found"},
+	},
+})
+
+func TestErrBoundary(t *testing.T) {
+	analysistest.Run(t, "testdata", fixtureAnalyzer, "fairmod/a")
+}
+
+func TestClean(t *testing.T) {
+	if diags := analysistest.Run(t, "testdata", fixtureAnalyzer, "fairmod/ok"); len(diags) != 0 {
+		t.Fatalf("clean fixture produced diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,25 @@
+// Fixture handler package violating all three boundary rules: a raw
+// internal return, an http.Error call, and a never-mapped sentinel.
+package a
+
+import (
+	"net/http"
+
+	"fairmod/svc"
+)
+
+type server struct{}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) error { // want `never maps fairmod/svc\.ErrMissing`
+	val, err := svc.Fetch(r.URL.Query().Get("id"))
+	if err != nil {
+		return err // want `returns the raw error from fairmod/svc\.Fetch`
+	}
+	_, werr := w.Write([]byte(val))
+	return werr
+}
+
+func (s *server) handlePing(w http.ResponseWriter, r *http.Request) error {
+	http.Error(w, "nope", http.StatusTeapot) // want `http\.Error writes a plain-text body`
+	return nil
+}

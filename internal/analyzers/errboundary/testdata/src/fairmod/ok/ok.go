@@ -1,0 +1,30 @@
+// Fixture handler package that respects the boundary: the sentinel is
+// mapped with errors.Is and every failure goes through the JSON writer.
+package ok
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"fairmod/svc"
+)
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func handleGet(w http.ResponseWriter, r *http.Request) error {
+	val, err := svc.Fetch(r.URL.Query().Get("id"))
+	if err != nil {
+		if errors.Is(err, svc.ErrMissing) {
+			writeErr(w, http.StatusNotFound, "no such id")
+			return nil
+		}
+		writeErr(w, http.StatusInternalServerError, "internal error")
+		return nil
+	}
+	_, werr := w.Write([]byte(val))
+	return werr
+}

@@ -1,0 +1,16 @@
+// Fixture service package: the "internal" dependency whose errors the
+// handler package must map at the boundary.
+package svc
+
+import "errors"
+
+// ErrMissing is the sentinel the handler package must map to 404.
+var ErrMissing = errors.New("svc: missing")
+
+// Fetch returns the value for id, or ErrMissing.
+func Fetch(id string) (string, error) {
+	if id == "" {
+		return "", ErrMissing
+	}
+	return "value-" + id, nil
+}

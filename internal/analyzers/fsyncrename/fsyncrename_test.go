@@ -1,0 +1,18 @@
+package fsyncrename_test
+
+import (
+	"testing"
+
+	"fairdms/internal/analyzers/anzkit/analysistest"
+	"fairdms/internal/analyzers/fsyncrename"
+)
+
+func TestFsyncRename(t *testing.T) {
+	analysistest.Run(t, "testdata", fsyncrename.Analyzer, "a")
+}
+
+func TestClean(t *testing.T) {
+	if diags := analysistest.Run(t, "testdata", fsyncrename.Analyzer, "clean"); len(diags) != 0 {
+		t.Fatalf("clean fixture produced diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,28 @@
+// Fixture: the three non-crash-safe write shapes, one finding each.
+package a
+
+import "os"
+
+func saveNaive(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `cannot fsync`
+}
+
+func saveHalf(path string, data []byte) error {
+	f, err := os.Create(path) // want `os\.Create outside`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+func appendLog(path string, line []byte) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644) // want `without a Sync`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(line)
+	return err
+}

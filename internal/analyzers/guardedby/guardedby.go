@@ -1,0 +1,230 @@
+// Package guardedby enforces documented lock discipline: a struct field
+// annotated with a comment of the form
+//
+//	jobs map[string]*job // guarded by mu
+//
+// may only be read or written in functions that visibly hold that mutex —
+// i.e. the enclosing function (closures included) also calls
+// <base>.mu.Lock() / RLock(), where <base> is the same expression the
+// field is accessed through (s.jobs requires s.mu, sh.docs requires
+// sh.mu). The check is flow-insensitive by design: it asks "does this
+// function ever take the lock", not "is it held at this statement", which
+// is cheap, has no false negatives for the unlocked-function bug class,
+// and stays predictable to suppress.
+//
+// Two idioms are recognized as safe without a lock call:
+//
+//   - accesses through a variable freshly built from a composite literal
+//     in the same function (constructors publish after initialization);
+//   - functions whose doc comment carries `lint:holds <base>.<mu>`,
+//     declaring that callers hold the lock.
+//
+// Anything else needs a `//lint:ignore guardedby <reason>`.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"fairdms/internal/analyzers/anzkit"
+)
+
+// Analyzer is the package-level instance registered with fairvet.
+var Analyzer = &anzkit.Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated '// guarded by <mu>' must only be accessed with that mutex held in the same function",
+	Run:  run,
+}
+
+var guardRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// lockMethods are the sync.Mutex / sync.RWMutex acquisition methods.
+var lockMethods = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+
+func run(pass *anzkit.Pass) error {
+	guarded := collectAnnotations(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collectAnnotations maps annotated field objects to their mutex names.
+// "guarded by X" only counts as an annotation when X names a sibling
+// field of sync.Mutex/sync.RWMutex type in the same struct — that keeps
+// prose like "guarded by the shard locks" from being misread as a
+// directive, and pins every annotation to a real lock.
+func collectAnnotations(pass *anzkit.Pass) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			mutexes := make(map[string]bool)
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil && isSyncMutex(obj.Type()) {
+						mutexes[name.Name] = true
+					}
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" || !mutexes[mu] {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						out[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isSyncMutex reports whether t is sync.Mutex, sync.RWMutex, or a pointer
+// to either.
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment, "" when unannotated.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkFunc verifies every guarded-field access in one function.
+func checkFunc(pass *anzkit.Pass, fd *ast.FuncDecl, guarded map[types.Object]string) {
+	held := heldLocks(pass, fd)
+	fresh := freshLocals(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.Info.Selections[sel]
+		if !ok {
+			return true
+		}
+		mu, ok := guarded[s.Obj()]
+		if !ok {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		want := base + "." + mu
+		if held[want] {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && fresh[pass.Info.ObjectOf(id)] {
+			return true // freshly constructed in this function, not yet shared
+		}
+		pass.Reportf(sel.Pos(), "%s is guarded by %s but accessed without %s held in %s", s.Obj().Name(), mu, want, fd.Name.Name)
+		return true
+	})
+}
+
+// heldLocks collects the receiver expressions of every mutex acquisition
+// in the function (closures included), plus lint:holds declarations from
+// its doc comment. Keys are rendered expressions like "s.mu" or "sh.mu".
+func heldLocks(pass *anzkit.Pass, fd *ast.FuncDecl) map[string]bool {
+	held := make(map[string]bool)
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, ok := strings.CutPrefix(text, "lint:holds "); ok {
+				for _, expr := range strings.Fields(rest) {
+					held[expr] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !lockMethods[sel.Sel.Name] {
+			return true
+		}
+		fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		held[types.ExprString(sel.X)] = true
+		return true
+	})
+	return held
+}
+
+// freshLocals returns the local variables assigned from composite
+// literals (or addresses of them) anywhere in the function — values under
+// construction that no other goroutine can see yet.
+func freshLocals(pass *anzkit.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if u, ok := rhs.(*ast.UnaryExpr); ok {
+			rhs = u.X
+		}
+		if _, ok := rhs.(*ast.CompositeLit); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				fresh[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}

@@ -1,0 +1,23 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"fairdms/internal/analyzers/anzkit/analysistest"
+	"fairdms/internal/analyzers/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", guardedby.Analyzer, "a")
+	// The fixture has exactly one true violation; the constructor,
+	// lint:holds, and lint:ignore sites must all stay quiet.
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+}
+
+func TestClean(t *testing.T) {
+	if diags := analysistest.Run(t, "testdata", guardedby.Analyzer, "clean"); len(diags) != 0 {
+		t.Fatalf("clean fixture produced diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,47 @@
+// Fixture: guarded-field discipline, with each recognized exemption
+// exercised once — locked access, constructor (fresh composite literal),
+// lint:holds, and the lint:ignore escape hatch — plus a prose comment
+// that must NOT be read as an annotation.
+package a
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int // guarded by mu
+
+	// Prose like this must not become an annotation: "the" is not a
+	// sibling mutex field.
+	notes []string // guarded by the registry lock
+}
+
+func newRegistry() *registry {
+	r := &registry{items: make(map[string]int)}
+	r.items["boot"] = 1 // fresh composite literal: not yet shared
+	return r
+}
+
+func (r *registry) add(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.items[k] = v
+}
+
+func (r *registry) peek(k string) int {
+	return r.items[k] // want `items is guarded by mu but accessed without r\.mu held in peek`
+}
+
+// lockedLen reports the item count.
+// lint:holds r.mu
+func (r *registry) lockedLen() int {
+	return len(r.items)
+}
+
+func (r *registry) sweep() {
+	//lint:ignore guardedby called only from the single-threaded test driver
+	clear(r.items)
+}
+
+func (r *registry) takeNotes(s string) {
+	r.notes = append(r.notes, s) // unannotated (prose only): no finding
+}

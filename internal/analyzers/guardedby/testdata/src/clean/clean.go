@@ -1,0 +1,21 @@
+// Fixture: every guarded access happens with the documented lock held.
+package clean
+
+import "sync"
+
+type box struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+func (b *box) get() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.v
+}
+
+func (b *box) set(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.v = v
+}

@@ -1,0 +1,26 @@
+// Package analyzers collects the repo's fairvet analyzer suite: five
+// mechanical checks for the concurrency, durability, and wire-protocol
+// conventions PRs 1–5 established but nothing enforced. See
+// docs/ANALYZERS.md for each invariant, example diagnostics, and the
+// suppression policy.
+package analyzers
+
+import (
+	"fairdms/internal/analyzers/anzkit"
+	"fairdms/internal/analyzers/atomicstat"
+	"fairdms/internal/analyzers/errboundary"
+	"fairdms/internal/analyzers/fsyncrename"
+	"fairdms/internal/analyzers/guardedby"
+	"fairdms/internal/analyzers/wiretags"
+)
+
+// All returns the full suite in stable order.
+func All() []*anzkit.Analyzer {
+	return []*anzkit.Analyzer{
+		atomicstat.Analyzer,
+		errboundary.Analyzer,
+		fsyncrename.Analyzer,
+		guardedby.Analyzer,
+		wiretags.Analyzer,
+	}
+}

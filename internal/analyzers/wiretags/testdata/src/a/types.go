@@ -1,0 +1,16 @@
+// Fixture: structs in a types.go file are wire structs by convention.
+package a
+
+type Status struct {
+	Name    string `json:"name"`
+	Count   int    // want `exported field Count has no json tag`
+	Renamed string `json:"name"` // want `json tag "name" on Renamed duplicates`
+	Opts    string `json:",omitempty"` // want `has options but no name`
+	hidden  int
+	Skip    string `json:"-"`
+}
+
+// aliases are skipped: the contract belongs to the aliased type.
+type StatusAlias = Status
+
+func use() int { return Status{hidden: 1}.hidden }

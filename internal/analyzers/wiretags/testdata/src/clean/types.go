@@ -1,0 +1,16 @@
+// Fixture: a fully, uniquely tagged wire contract.
+package clean
+
+type Doc struct {
+	ID     string            `json:"id"`
+	Fields map[string]string `json:"fields,omitempty"`
+	note   string            // unexported: out of the wire contract
+	Local  string            `json:"-"`
+}
+
+type Page struct {
+	Docs  []Doc `json:"docs"`
+	Total int   `json:"total"`
+}
+
+func use() string { return Doc{note: "x"}.note }

@@ -1,0 +1,32 @@
+// Fixture: structs flowing into encoding/json calls are wire structs even
+// outside types.go, and the check closes over nested struct-typed fields.
+package jsonseed
+
+import "encoding/json"
+
+type payload struct {
+	ID   string `json:"id"`
+	Body string // want `exported field Body has no json tag`
+}
+
+type inner struct {
+	Val int // want `exported field Val has no json tag`
+}
+
+type outer struct {
+	ID    string  `json:"id"`
+	Items []inner `json:"items"`
+}
+
+type untouched struct {
+	Free int // never serialized: no tag needed
+}
+
+func encode(p payload, o *outer) ([]byte, error) {
+	if _, err := json.Marshal(o); err != nil {
+		return nil, err
+	}
+	return json.Marshal(p)
+}
+
+func keep(u untouched) int { return u.Free }

@@ -1,0 +1,205 @@
+// Package wiretags enforces the wire contract of JSON-serialized structs:
+// every exported, non-embedded field of a wire struct must carry an
+// explicit json tag with a non-empty name (or "-"), and tag names must be
+// unique within the struct. Implicit field-name fallback is how silent
+// wire breaks happen — a rename refactor changes the public API without
+// any diff to a tag — so the tags must be spelled out.
+//
+// A struct counts as a wire struct when it is
+//
+//   - declared in a file named types.go (the repo convention for wire
+//     contracts, e.g. internal/dmsapi/types.go), or
+//   - passed to encoding/json (Marshal, MarshalIndent, Unmarshal,
+//     Encoder.Encode, Decoder.Decode) anywhere in its package, or
+//   - reachable from either through exported struct-typed fields
+//     (pointers, slices, arrays, and map values included).
+//
+// Gob-serialized protocol structs (docstore's wire protocol) are out of
+// scope: gob ignores tags.
+package wiretags
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"reflect"
+	"strings"
+
+	"fairdms/internal/analyzers/anzkit"
+)
+
+// Analyzer is the package-level instance registered with fairvet.
+var Analyzer = &anzkit.Analyzer{
+	Name: "wiretags",
+	Doc:  "exported fields of JSON wire structs need explicit, unique json tags",
+	Run:  run,
+}
+
+// wireFiles are the basenames whose struct declarations are wire structs
+// by convention, before any json call-site analysis.
+var wireFiles = map[string]bool{"types.go": true, "wire.go": true}
+
+func run(pass *anzkit.Pass) error {
+	seeds := make(map[*types.Named]bool)
+	collectConventionSeeds(pass, seeds)
+	collectJSONSeeds(pass, seeds)
+	if len(seeds) == 0 {
+		return nil
+	}
+	// Close over struct-typed fields so nested payload types are held to
+	// the same contract as their containers.
+	work := make([]*types.Named, 0, len(seeds))
+	for n := range seeds {
+		work = append(work, n)
+	}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if fn := namedStructOf(pass, st.Field(i).Type()); fn != nil && !seeds[fn] {
+				seeds[fn] = true
+				work = append(work, fn)
+			}
+		}
+	}
+	for n := range seeds {
+		checkStruct(pass, n)
+	}
+	return nil
+}
+
+// collectConventionSeeds marks every struct declared in a wire-convention
+// file.
+func collectConventionSeeds(pass *anzkit.Pass, seeds map[*types.Named]bool) {
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if !wireFiles[name] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Assign.IsValid() { // skip aliases
+				return true
+			}
+			if _, ok := ts.Type.(*ast.StructType); !ok {
+				return true
+			}
+			if obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+				if named, ok := obj.Type().(*types.Named); ok {
+					seeds[named] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// jsonArgIndex maps encoding/json entry points to the index of the
+// serialized argument, -1 for "not a serialization call".
+func jsonArgIndex(fn *types.Func) int {
+	if fn == nil || fn.Pkg() == nil {
+		return -1
+	}
+	switch {
+	case fn.Pkg().Path() == "encoding/json":
+		switch fn.Name() {
+		case "Marshal", "MarshalIndent":
+			return 0
+		case "Unmarshal":
+			return 1
+		case "Encode", "Decode": // (*Encoder).Encode / (*Decoder).Decode
+			return 0
+		}
+	}
+	return -1
+}
+
+// collectJSONSeeds marks package-local named structs flowing into
+// encoding/json calls.
+func collectJSONSeeds(pass *anzkit.Pass, seeds map[*types.Named]bool) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+			idx := jsonArgIndex(fn)
+			if idx < 0 || idx >= len(call.Args) {
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Args[idx]]
+			if !ok {
+				return true
+			}
+			if named := namedStructOf(pass, tv.Type); named != nil {
+				seeds[named] = true
+			}
+			return true
+		})
+	}
+}
+
+// namedStructOf unwraps pointers, slices, arrays, and map values down to a
+// named struct type declared in the package under analysis.
+func namedStructOf(pass *anzkit.Pass, t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		default:
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj().Pkg() != pass.Pkg {
+				return nil
+			}
+			if _, ok := named.Underlying().(*types.Struct); !ok {
+				return nil
+			}
+			return named
+		}
+	}
+}
+
+// checkStruct verifies one wire struct's tags.
+func checkStruct(pass *anzkit.Pass, n *types.Named) {
+	st := n.Underlying().(*types.Struct)
+	names := make(map[string]string) // tag name → field name
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() || f.Embedded() {
+			continue
+		}
+		tag, ok := reflect.StructTag(st.Tag(i)).Lookup("json")
+		if !ok {
+			pass.Reportf(f.Pos(), "wire struct %s: exported field %s has no json tag (implicit names break silently on rename)", n.Obj().Name(), f.Name())
+			continue
+		}
+		name, _, _ := strings.Cut(tag, ",")
+		if name == "" {
+			pass.Reportf(f.Pos(), "wire struct %s: field %s's json tag has options but no name", n.Obj().Name(), f.Name())
+			continue
+		}
+		if name == "-" {
+			continue
+		}
+		if prev, dup := names[name]; dup {
+			pass.Reportf(f.Pos(), "wire struct %s: json tag %q on %s duplicates the one on %s", n.Obj().Name(), name, f.Name(), prev)
+			continue
+		}
+		names[name] = f.Name()
+	}
+}

@@ -1,0 +1,18 @@
+package wiretags_test
+
+import (
+	"testing"
+
+	"fairdms/internal/analyzers/anzkit/analysistest"
+	"fairdms/internal/analyzers/wiretags"
+)
+
+func TestWireTags(t *testing.T) {
+	analysistest.Run(t, "testdata", wiretags.Analyzer, "a", "jsonseed")
+}
+
+func TestClean(t *testing.T) {
+	if diags := analysistest.Run(t, "testdata", wiretags.Analyzer, "clean"); len(diags) != 0 {
+		t.Fatalf("clean fixture produced diagnostics: %v", diags)
+	}
+}

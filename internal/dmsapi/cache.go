@@ -24,9 +24,9 @@ type cache struct {
 	cap int
 
 	mu    sync.Mutex
-	ll    *list.List               // front = most recently used
-	items map[string]*list.Element // key → element whose Value is *entry
-	calls map[string]*call         // in-flight computations
+	ll    *list.List               // guarded by mu; front = most recently used
+	items map[string]*list.Element // guarded by mu; key → element whose Value is *entry
+	calls map[string]*call         // guarded by mu; in-flight computations
 
 	hits      atomic.Int64
 	misses    atomic.Int64

@@ -27,17 +27,17 @@ type Collection struct {
 	// idxMu guards the index registry: the authoritative set of indexed
 	// fields. Per-shard index fragments are guarded by the shard locks.
 	idxMu      sync.Mutex
-	hashFields map[string]struct{}
-	ordFields  map[string]struct{}
+	hashFields map[string]struct{} // guarded by idxMu
+	ordFields  map[string]struct{} // guarded by idxMu
 }
 
 // shard is one lock stripe: a slice of the document space plus its
 // fragment of every secondary index.
 type shard struct {
 	mu      sync.RWMutex
-	docs    map[string]*Doc
-	hashIdx map[string]map[string]map[string]struct{} // field → key → id set
-	ordIdx  map[string][]ordEntry                     // field → sorted entries
+	docs    map[string]*Doc                           // guarded by mu
+	hashIdx map[string]map[string]map[string]struct{} // guarded by mu; field → key → id set
+	ordIdx  map[string][]ordEntry                     // guarded by mu; field → sorted entries
 }
 
 type ordEntry struct {
@@ -660,6 +660,7 @@ func (c *Collection) AllIDs() []string {
 // read lock. Different shards may pick different access paths for the same
 // query; correctness only requires that each shard's candidates cover its
 // matches.
+// lint:holds s.mu
 func (s *shard) candidateIDsLocked(q Query) ([]string, []Filter) {
 	bestSize := -1
 	bestFilter := -1
@@ -747,6 +748,7 @@ func (s *shard) candidateIDsLocked(q Query) ([]string, []Filter) {
 
 // indexDocLocked adds the document to every index fragment covering its
 // fields. Caller holds the shard's write lock.
+// lint:holds s.mu
 func (s *shard) indexDocLocked(collection string, d *Doc) error {
 	for field, idx := range s.hashIdx {
 		v, ok := d.F[field]
@@ -780,6 +782,7 @@ func (s *shard) indexDocLocked(collection string, d *Doc) error {
 
 // unindexDocLocked removes the document from every index fragment. Caller
 // holds the shard's write lock.
+// lint:holds s.mu
 func (s *shard) unindexDocLocked(d *Doc) {
 	for field, idx := range s.hashIdx {
 		v, ok := d.F[field]

@@ -8,6 +8,8 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"fairdms/internal/fsx"
 )
 
 // Store is a set of named collections. The zero value is not usable;
@@ -101,34 +103,15 @@ func (s *Store) Save(path string) error {
 		snap.Collections[name] = cs
 	}
 
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	err := fsx.WriteAtomic(path, func(w io.Writer) error {
+		zw := gzip.NewWriter(w)
+		if err := gob.NewEncoder(zw).Encode(snap); err != nil {
+			return err
+		}
+		return zw.Close()
+	})
 	if err != nil {
 		return fmt.Errorf("docstore: save: %w", err)
-	}
-	// On any failure, remove the partial temp file; the snapshot at path
-	// (if one exists) stays untouched.
-	fail := func(stage string, err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("docstore: save %s: %w", stage, err)
-	}
-	zw := gzip.NewWriter(f)
-	if err := gob.NewEncoder(zw).Encode(snap); err != nil {
-		return fail("encode", err)
-	}
-	if err := zw.Close(); err != nil {
-		return fail("close", err)
-	}
-	if err := f.Sync(); err != nil {
-		return fail("sync", err)
-	}
-	if err := f.Close(); err != nil {
-		return fail("flush", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("docstore: save rename: %w", err)
 	}
 	return nil
 }

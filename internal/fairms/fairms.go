@@ -10,12 +10,14 @@ package fairms
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
 	"sync"
 	"time"
 
+	"fairdms/internal/fsx"
 	"fairdms/internal/nn"
 	"fairdms/internal/stats"
 )
@@ -88,8 +90,8 @@ type Ranked struct {
 // Zoo stores model records. Safe for concurrent use.
 type Zoo struct {
 	mu      sync.RWMutex
-	records map[string]*Record
-	order   []string // insertion order for deterministic iteration
+	records map[string]*Record // guarded by mu
+	order   []string           // guarded by mu; insertion order for deterministic iteration
 	clock   func() time.Time
 }
 
@@ -236,10 +238,11 @@ type recordSnapshot struct {
 	AddedAt  time.Time
 }
 
-// Save writes the zoo to a file crash-safely: the snapshot is encoded into
-// path+".tmp", fsynced, and atomically renamed over path (mirroring
-// docstore.Store.Save), so a crash mid-write leaves the previous snapshot
-// intact instead of a truncated file.
+// Save writes the zoo to a file crash-safely via fsx.WriteAtomic: the
+// snapshot is encoded into path+".tmp", fsynced, and atomically renamed
+// over path (the same discipline as docstore.Store.Save), so a crash
+// mid-write leaves the previous snapshot intact instead of a truncated
+// file.
 func (z *Zoo) Save(path string) error {
 	z.mu.RLock()
 	snap := zooSnapshot{Order: append([]string(nil), z.order...), Records: make(map[string]recordSnapshot)}
@@ -250,30 +253,10 @@ func (z *Zoo) Save(path string) error {
 	}
 	z.mu.RUnlock()
 
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
+	if err := fsx.WriteAtomic(path, func(w io.Writer) error {
+		return encodeGob(w, &snap)
+	}); err != nil {
 		return fmt.Errorf("fairms: save: %w", err)
-	}
-	// On any failure, remove the partial temp file; the snapshot at path
-	// (if one exists) stays untouched.
-	fail := func(stage string, err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("fairms: save %s: %w", stage, err)
-	}
-	if err := encodeGob(f, &snap); err != nil {
-		return fail("encode", err)
-	}
-	if err := f.Sync(); err != nil {
-		return fail("sync", err)
-	}
-	if err := f.Close(); err != nil {
-		return fail("flush", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("fairms: save rename: %w", err)
 	}
 	return nil
 }
@@ -307,10 +290,12 @@ func LoadZoo(path string) (*Zoo, error) {
 		if err := stats.PDF(rs.TrainPDF).Validate(); err != nil {
 			return nil, fmt.Errorf("fairms: snapshot record %q: %w", id, err)
 		}
+		//lint:ignore guardedby z is freshly built by NewZoo and not yet shared
 		z.records[id] = &Record{
 			ID: id, State: rs.State, TrainPDF: rs.TrainPDF,
 			Meta: rs.Meta, AddedAt: rs.AddedAt,
 		}
+		//lint:ignore guardedby z is freshly built by NewZoo and not yet shared
 		z.order = append(z.order, id)
 	}
 	return z, nil

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"fairdms/internal/codec"
+	"fairdms/internal/fsx"
 )
 
 const fileExt = ".smp"
@@ -86,7 +87,7 @@ func (s *Store) Append(sample *codec.Sample) (int, error) {
 	s.mu.Unlock()
 
 	path := filepath.Join(s.dir, sampleName(idx))
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := fsx.WriteFileAtomic(path, data, 0o644); err != nil {
 		return 0, fmt.Errorf("filestore: write %s: %w", path, err)
 	}
 	return idx, nil

@@ -1,0 +1,67 @@
+// Package fsx centralizes the crash-safe file-write discipline every
+// durable artifact in the repo must follow: write to a temporary sibling,
+// fsync, then atomically rename over the destination. PRs 1–2 introduced
+// the pattern inline in docstore.Store.Save and fairms.Zoo.Save; this
+// package is its single home, and the fsyncrename analyzer (cmd/fairvet)
+// mechanically keeps every other os.WriteFile/os.Create out of snapshot
+// paths.
+//
+// The guarantee: at any crash point, the destination path holds either the
+// previous complete content or the new complete content — never a
+// truncated or interleaved file. (Directory-entry durability after rename
+// additionally needs a directory fsync, which callers doing multi-file
+// commits can layer on; single-snapshot readers tolerate an absent file,
+// so the repo's snapshot paths do not require it.)
+package fsx
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteAtomic streams content produced by write into path crash-safely:
+// the payload lands in path+".tmp", is fsynced, and is renamed over path
+// only after a clean close. On any failure the temp file is removed and
+// the previous content of path (if any) is left untouched.
+func WriteAtomic(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("fsx: create %s: %w", tmp, err)
+	}
+	fail := func(stage string, err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fsx: %s %s: %w", stage, path, err)
+	}
+	if err := write(f); err != nil {
+		return fail("write", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	if err := f.Close(); err != nil {
+		return fail("close", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsx: rename %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteFileAtomic is WriteAtomic for a byte slice: the crash-safe
+// replacement for os.WriteFile. perm applies to newly created files (the
+// temp file inherits it before the rename).
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return WriteAtomic(path, func(w io.Writer) error {
+		if f, ok := w.(*os.File); ok {
+			if err := f.Chmod(perm); err != nil {
+				return err
+			}
+		}
+		_, err := w.Write(data)
+		return err
+	})
+}

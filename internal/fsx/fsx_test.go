@@ -1,0 +1,67 @@
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back %q, %v; want \"v1\"", got, err)
+	}
+	// Overwrite: the previous content is fully replaced.
+	if err := WriteFileAtomic(path, []byte("version-two"), 0o644); err != nil {
+		t.Fatalf("WriteFileAtomic overwrite: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "version-two" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestWriteAtomicFailureKeepsPrevious(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := WriteFileAtomic(path, []byte("stable"), 0o644); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+	boom := errors.New("mid-write failure")
+	err := WriteAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v; want wrapped mid-write failure", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "stable" {
+		t.Fatalf("previous content not preserved: %q, %v", got, rerr)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind after failure: %v", err)
+	}
+}
+
+func TestWriteFileAtomicPerm(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := WriteFileAtomic(path, []byte("x"), 0o600); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o600 {
+		t.Fatalf("perm = %v; want 0600", fi.Mode().Perm())
+	}
+}

@@ -17,7 +17,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -28,6 +27,7 @@ import (
 	"fairdms/internal/codec"
 	"fairdms/internal/datagen"
 	"fairdms/internal/dmsapi"
+	"fairdms/internal/fsx"
 	"fairdms/internal/hdrhist"
 	"fairdms/internal/nn"
 	"fairdms/internal/stats"
@@ -228,17 +228,14 @@ type Report struct {
 	Server *ServerDelta `json:"server,omitempty"`
 }
 
-// WriteFile writes the report as indented JSON (atomically: tmp + rename).
+// WriteFile writes the report as indented JSON, crash-safely (tmp +
+// fsync + rename via fsx.WriteFileAtomic).
 func (r *Report) WriteFile(path string) error {
 	blob, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return fsx.WriteFileAtomic(path, append(blob, '\n'), 0o644)
 }
 
 // opCounters pairs a histogram with an error count, shared by all workers

@@ -177,7 +177,7 @@ type Status struct {
 // job is the mutable server-side record behind a Status.
 type job struct {
 	mu     sync.Mutex
-	status Status
+	status Status // guarded by mu
 	spec   Spec
 	cancel context.CancelFunc
 	ctx    context.Context
@@ -248,10 +248,10 @@ type Manager struct {
 	// pending is the FIFO of live queued jobs. Canceled-while-queued jobs
 	// are removed immediately, so a canceled job never pins a queue slot:
 	// Submit's backpressure is len(pending) against cfg.Queue.
-	pending []*job
-	jobs    map[string]*job
-	order   []string
-	closed  bool
+	pending []*job          // guarded by mu
+	jobs    map[string]*job // guarded by mu
+	order   []string        // guarded by mu
+	closed  bool            // guarded by mu
 
 	wg      sync.WaitGroup
 	started atomic.Bool
