@@ -39,6 +39,7 @@ func main() {
 	patch := flag.Int("patch", 11, "square Bragg patch edge for generated samples")
 	setupDocs := flag.Int("setup-docs", 256, "corpus documents seeded before measuring")
 	seed := flag.Int64("seed", 1, "determinism seed for samples and scheduling")
+	traceSample := flag.Int("trace-sample", 16, "trace every Nth request end to end, keeping the slowest span trees in the report (0 disables)")
 	out := flag.String("out", "BENCH_dmsapi.json", "report path (empty = don't write)")
 	failOnErrors := flag.Bool("fail-on-errors", false, "exit non-zero if any request failed")
 	quiet := flag.Bool("q", false, "suppress progress logging")
@@ -59,6 +60,7 @@ func main() {
 		SetupDocs:   *setupDocs,
 		TrainEpochs: *trainEpochs,
 		Seed:        *seed,
+		TraceSample: *traceSample,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf

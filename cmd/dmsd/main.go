@@ -28,7 +28,8 @@
 //	     [-k 8] [-embed-dim 8] [-embed-hidden 64] [-embed-scale 1]
 //	     [-seed 1] [-max-inflight 64] [-cache 128] [-max-batch 8192]
 //	     [-vecindex flat|ivf|off] [-nprobe 4]
-//	     [-train-workers 2] [-train-queue 8] [-v]
+//	     [-train-workers 2] [-train-queue 8]
+//	     [-slow-threshold 250ms] [-slow-log 64] [-pprof] [-v]
 package main
 
 import (
@@ -100,18 +101,23 @@ func main() {
 	maxBatch := flag.Int("max-batch", 8192, "documents per ingest:batch request before 413 (<0 = unlimited)")
 	trainWorkers := flag.Int("train-workers", 2, "parallel server-side training jobs (0 disables /v1/train)")
 	trainQueue := flag.Int("train-queue", 8, "queued training jobs before submissions shed with 429")
+	slowThreshold := flag.Duration("slow-threshold", 250*time.Millisecond, "requests slower than this keep their span tree at /debug/slowz (0 disables)")
+	slowLog := flag.Int("slow-log", 64, "slow-request ring size")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	indexKind := flag.String("vecindex", "flat", "nearest-label vector index: flat (exact), ivf (approximate, sublinear), off (store scans)")
 	nprobe := flag.Int("nprobe", 4, "IVF sublists probed per query (higher = more accurate, slower)")
 	verbose := flag.Bool("v", false, "log request failures")
 	flag.Parse()
 
 	var backend fairds.DataStore
+	var storeClient *docstore.Client
 	if *storeAddr != "" {
 		client, err := docstore.Dial(*storeAddr, 8)
 		if err != nil {
 			log.Fatalf("dmsd: dialing store: %v", err)
 		}
 		defer client.Close()
+		storeClient = client
 		backend = fairds.RemoteCollection{Client: client, Name: *collection}
 		log.Printf("dmsd: using external store at %s (collection %q)", *storeAddr, *collection)
 	} else {
@@ -173,16 +179,35 @@ func main() {
 	}
 	srv, err := dmsapi.NewServer(dmsapi.ServerConfig{
 		DS: ds, Zoo: zoo,
-		MaxInFlight:  *maxInflight,
-		CacheSize:    *cacheSize,
-		MaxBatchDocs: *maxBatch,
-		BootstrapK:   *k,
-		TrainWorkers: *trainWorkers,
-		TrainQueue:   *trainQueue,
-		Logger:       logger,
+		MaxInFlight:   *maxInflight,
+		CacheSize:     *cacheSize,
+		MaxBatchDocs:  *maxBatch,
+		BootstrapK:    *k,
+		TrainWorkers:  *trainWorkers,
+		TrainQueue:    *trainQueue,
+		SlowThreshold: *slowThreshold,
+		SlowLogSize:   *slowLog,
+		EnablePprof:   *enablePprof,
+		Logger:        logger,
 	})
 	if err != nil {
 		log.Fatalf("dmsd: %v", err)
+	}
+	if storeClient != nil {
+		// Surface store RPC traffic on the daemon's /metricsz: counters and
+		// a latency summary keyed by wire op, fed by the docstore client's
+		// round-trip hook.
+		reg := srv.Registry()
+		rpcs := reg.CounterVec("dms_store_rpcs_total", "docstore round trips by wire op", "op")
+		rpcErrs := reg.CounterVec("dms_store_rpc_errors_total", "failed docstore round trips by wire op", "op")
+		rpcLat := reg.HistogramVec("dms_store_rpc_seconds", "docstore round-trip latency by wire op", "op")
+		storeClient.Instrument(func(op string, d time.Duration, err error) {
+			rpcs.With(op).Inc()
+			if err != nil {
+				rpcErrs.With(op).Inc()
+			}
+			rpcLat.With(op).Record(d)
+		})
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {

@@ -43,7 +43,7 @@ func TestList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"atomicstat", "errboundary", "fsyncrename", "guardedby", "wiretags"} {
+	for _, name := range []string{"atomicstat", "errboundary", "fsyncrename", "guardedby", "obsnames", "wiretags"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list missing %s:\n%s", name, out.String())
 		}

@@ -51,6 +51,7 @@ var DefaultConfig = Config{
 		{PkgSuffix: "internal/trainer", Name: "ErrQueueFull", Status: "429 Too Many Requests"},
 		{PkgSuffix: "internal/trainer", Name: "ErrShutdown", Status: "503 Service Unavailable"},
 		{PkgSuffix: "internal/fairms", Name: "ErrDuplicateID", Status: "409 Conflict"},
+		{PkgSuffix: "internal/obs", Name: "ErrDisabled", Status: "404 Not Found"},
 	},
 }
 

@@ -1,0 +1,27 @@
+package obsnames_test
+
+import (
+	"testing"
+
+	"fairdms/internal/analyzers/anzkit/analysistest"
+	"fairdms/internal/analyzers/obsnames"
+)
+
+func TestObsNames(t *testing.T) {
+	analysistest.Run(t, "testdata", obsnames.Analyzer, "a")
+}
+
+func TestClean(t *testing.T) {
+	if diags := analysistest.Run(t, "testdata", obsnames.Analyzer, "clean"); len(diags) != 0 {
+		t.Fatalf("clean fixture produced diagnostics: %v", diags)
+	}
+}
+
+// TestEscapeHatch checks that a //lint:ignore obsnames directive silences
+// exactly the annotated registration and nothing else.
+func TestEscapeHatch(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", obsnames.Analyzer, "ignored")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the unsuppressed one: %v", len(diags), diags)
+	}
+}

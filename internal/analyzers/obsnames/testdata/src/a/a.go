@@ -1,0 +1,28 @@
+// Fixture: naming violations across registrations and spans.
+package a
+
+import (
+	"context"
+
+	"internal/obs"
+)
+
+func register(r *obs.Registry) {
+	r.Counter("good_total", "fine")
+	r.Counter("Bad-Name", "uppercase and dash")       // want `metric name "Bad-Name" is not lowercase_snake`
+	r.CounterFunc("good_total", "second time", nil)   // want `metric "good_total" is already registered`
+	r.CounterVec("vec_total", "fine", "opLabel")      // want `label name "opLabel" is not lowercase_snake`
+	r.HistogramVec("lat_seconds", "fine", "endpoint") // clean
+	r.Histogram("9starts_with_digit", "bad")          // want `metric name "9starts_with_digit" is not lowercase_snake`
+}
+
+func spans(ctx context.Context) {
+	ctx, _ = obs.StartSpan(ctx, "store_insert")
+	_, _ = obs.StartSpan(ctx, "httpRoundtrip") // want `span name "httpRoundtrip" is not lowercase_snake`
+	_, _ = obs.StartSpan(ctx, "store_insert")  // repeated span names are fine
+}
+
+// dynamic names are out of static reach and left to the runtime check.
+func dynamic(r *obs.Registry, name string) {
+	r.Counter(name, "runtime-checked")
+}

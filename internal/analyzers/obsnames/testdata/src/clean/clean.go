@@ -1,0 +1,21 @@
+// Fixture: conforming names — nothing to flag. The vector's With value is
+// a label value, not a name, so any string goes.
+package clean
+
+import (
+	"context"
+
+	"internal/obs"
+)
+
+func register(r *obs.Registry) {
+	r.Counter("dms_requests_total", "requests handled")
+	r.GaugeFunc("dms_in_flight", "requests in flight", nil)
+	v := r.CounterVec("dms_endpoint_errors_total", "errors by endpoint", "endpoint")
+	v.With("data.ingest")
+}
+
+func spans(ctx context.Context) {
+	ctx, _ = obs.StartSpan(ctx, "request")
+	_, _ = obs.StartSpan(ctx, "index_probe")
+}

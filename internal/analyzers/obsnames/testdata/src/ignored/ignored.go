@@ -1,0 +1,10 @@
+// Fixture: lint:ignore suppresses the annotated site only.
+package ignored
+
+import "internal/obs"
+
+func register(r *obs.Registry) {
+	//lint:ignore obsnames legacy dashboard expects this exact name
+	r.Counter("legacy-name", "grandfathered")
+	r.Counter("another-bad", "not suppressed") // want `metric name "another-bad" is not lowercase_snake`
+}

@@ -1,8 +1,8 @@
-// Package analyzers collects the repo's fairvet analyzer suite: five
-// mechanical checks for the concurrency, durability, and wire-protocol
-// conventions PRs 1–5 established but nothing enforced. See
-// docs/ANALYZERS.md for each invariant, example diagnostics, and the
-// suppression policy.
+// Package analyzers collects the repo's fairvet analyzer suite: six
+// mechanical checks for the concurrency, durability, wire-protocol, and
+// observability-naming conventions PRs 1–6 established but nothing
+// enforced. See docs/ANALYZERS.md for each invariant, example
+// diagnostics, and the suppression policy.
 package analyzers
 
 import (
@@ -11,6 +11,7 @@ import (
 	"fairdms/internal/analyzers/errboundary"
 	"fairdms/internal/analyzers/fsyncrename"
 	"fairdms/internal/analyzers/guardedby"
+	"fairdms/internal/analyzers/obsnames"
 	"fairdms/internal/analyzers/wiretags"
 )
 
@@ -21,6 +22,7 @@ func All() []*anzkit.Analyzer {
 		errboundary.Analyzer,
 		fsyncrename.Analyzer,
 		guardedby.Analyzer,
+		obsnames.Analyzer,
 		wiretags.Analyzer,
 	}
 }

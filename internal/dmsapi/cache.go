@@ -2,9 +2,12 @@ package dmsapi
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"fairdms/internal/obs"
 )
 
 // cache is a singleflight-coalescing LRU. Many concurrent training jobs
@@ -61,8 +64,13 @@ func newCache(capacity int) *cache {
 
 // do returns the cached value for key, joins an in-flight computation for
 // key, or runs fn and caches its result. Errors are never cached: a failed
-// compute is retried by the next caller.
-func (c *cache) do(key string, fn func() (any, error)) (any, error) {
+// compute is retried by the next caller. The whole lookup — hit, coalesced
+// wait, or compute — is recorded as a cache_lookup span on ctx's trace, so
+// a slow cached endpoint shows whether it waited on someone else's compute
+// or ran its own (the compute's stages appear as child spans).
+func (c *cache) do(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (any, error) {
+	ctx, span := obs.StartSpan(ctx, "cache_lookup")
+	defer span.End()
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -101,7 +109,7 @@ func (c *cache) do(key string, fn func() (any, error)) (any, error) {
 		close(cl.done)
 	}()
 	cl.err = errPanicked // overwritten on normal return
-	cl.val, cl.err = fn()
+	cl.val, cl.err = fn(ctx)
 	return cl.val, cl.err
 }
 

@@ -1,6 +1,7 @@
 package dmsapi
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -10,11 +11,11 @@ import (
 
 func TestCacheHitAndEviction(t *testing.T) {
 	c := newCache(2)
-	compute := func(v string) func() (any, error) {
-		return func() (any, error) { return v, nil }
+	compute := func(v string) func(context.Context) (any, error) {
+		return func(context.Context) (any, error) { return v, nil }
 	}
 	for _, k := range []string{"a", "b", "a", "c"} {
-		if v, err := c.do(k, compute(k)); err != nil || v != k {
+		if v, err := c.do(context.Background(), k, compute(k)); err != nil || v != k {
 			t.Fatalf("do(%s) = %v, %v", k, v, err)
 		}
 	}
@@ -24,12 +25,12 @@ func TestCacheHitAndEviction(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 	calls := 0
-	c.do("b", func() (any, error) { calls++; return "b", nil })
+	c.do(context.Background(), "b", func(context.Context) (any, error) { calls++; return "b", nil })
 	if calls != 1 {
 		t.Fatal("evicted key should recompute")
 	}
 	// Re-adding "b" evicted "a"; "c" is still retained.
-	c.do("c", func() (any, error) { calls++; return "", nil })
+	c.do(context.Background(), "c", func(context.Context) (any, error) { calls++; return "", nil })
 	if calls != 1 {
 		t.Fatal("retained key should not recompute")
 	}
@@ -47,7 +48,7 @@ func TestCacheCoalescesConcurrentCalls(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := c.do("hot", func() (any, error) {
+			v, err := c.do(context.Background(), "hot", func(context.Context) (any, error) {
 				computes.Add(1)
 				close(started)
 				<-release // hold the computation open so others pile up
@@ -81,11 +82,11 @@ func TestCacheCoalescesConcurrentCalls(t *testing.T) {
 func TestCacheErrorsAreNotCached(t *testing.T) {
 	c := newCache(4)
 	calls := 0
-	fail := func() (any, error) { calls++; return nil, errors.New("boom") }
-	if _, err := c.do("k", fail); err == nil {
+	fail := func(context.Context) (any, error) { calls++; return nil, errors.New("boom") }
+	if _, err := c.do(context.Background(), "k", fail); err == nil {
 		t.Fatal("expected error")
 	}
-	if _, err := c.do("k", fail); err == nil {
+	if _, err := c.do(context.Background(), "k", fail); err == nil {
 		t.Fatal("expected error again")
 	}
 	if calls != 2 {
@@ -107,12 +108,12 @@ func TestCachePanicDoesNotPoisonKey(t *testing.T) {
 				t.Fatal("panic did not propagate")
 			}
 		}()
-		c.do("k", func() (any, error) { panic("boom") })
+		c.do(context.Background(), "k", func(context.Context) (any, error) { panic("boom") })
 	}()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		v, err := c.do("k", func() (any, error) { return 7, nil })
+		v, err := c.do(context.Background(), "k", func(context.Context) (any, error) { return 7, nil })
 		if err != nil || v != 7 {
 			t.Errorf("do after panic = %v, %v", v, err)
 		}
@@ -127,9 +128,9 @@ func TestCachePanicDoesNotPoisonKey(t *testing.T) {
 func TestCacheZeroCapacityCoalescesOnly(t *testing.T) {
 	c := newCache(0)
 	calls := 0
-	compute := func() (any, error) { calls++; return 1, nil }
-	c.do("k", compute)
-	c.do("k", compute)
+	compute := func(context.Context) (any, error) { calls++; return 1, nil }
+	c.do(context.Background(), "k", compute)
+	c.do(context.Background(), "k", compute)
 	if calls != 2 {
 		t.Fatalf("zero-capacity cache memoized (calls = %d)", calls)
 	}

@@ -2,6 +2,7 @@ package dmsapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,10 +10,12 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"fairdms/internal/codec"
 	"fairdms/internal/nn"
+	"fairdms/internal/obs"
 	"fairdms/internal/stats"
 )
 
@@ -31,6 +34,10 @@ type Client struct {
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+
+	sample  int
+	onTrace func(op string, dump obs.TraceDump)
+	nreq    atomic.Uint64
 }
 
 // ClientConfig tunes a Client.
@@ -43,6 +50,17 @@ type ClientConfig struct {
 	Backoff time.Duration
 	// Timeout bounds each HTTP request end to end (default 30s).
 	Timeout time.Duration
+	// TraceSample, when > 0 with OnTrace set, traces every Nth request end
+	// to end: the client builds a span tree around the exchange, asks the
+	// server for its span tree back (X-Dms-Trace request header, span
+	// trailer on the response), and grafts the server's tree under the
+	// round-trip span — one contiguous view from client_request down to the
+	// fairds stages. Zero disables sampling.
+	TraceSample int
+	// OnTrace receives each sampled request's merged span tree; op is
+	// "METHOD /path". Called synchronously on the requesting goroutine
+	// after the response is consumed, so keep it cheap.
+	OnTrace func(op string, dump obs.TraceDump)
 }
 
 func (c *ClientConfig) defaults() {
@@ -70,6 +88,8 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 		base:    "http://" + addr,
 		retries: cfg.Retries,
 		backoff: cfg.Backoff,
+		sample:  cfg.TraceSample,
+		onTrace: cfg.OnTrace,
 		hc: &http.Client{
 			Timeout: cfg.Timeout,
 			Transport: &http.Transport{
@@ -316,7 +336,37 @@ func (c *Client) getJSON(path string, out any) error {
 // doRetry performs one HTTP exchange, retrying transport-level failures.
 // The request body is a byte slice (not a stream) precisely so each retry
 // can resend it from the start.
+//
+// When this request is the Nth of a TraceSample cadence, the exchange is
+// traced: a client_request root with one http_roundtrip span per attempt,
+// and — when the server returns its span tree on the response trailer —
+// the server tree grafted under the successful attempt. The merged dump
+// goes to OnTrace whatever the outcome, so failed exchanges are visible
+// too (just without a server subtree).
 func (c *Client) doRetry(method, path string, payload []byte) ([]byte, error) {
+	var (
+		tr   *obs.Trace
+		root *obs.Span
+		ctx  = context.Background()
+
+		serverDump obs.TraceDump
+		graftAt    = -1
+		haveServer bool
+	)
+	if c.sample > 0 && c.onTrace != nil && c.nreq.Add(1)%uint64(c.sample) == 0 {
+		tr = obs.NewTrace("", true)
+		ctx = obs.NewContext(ctx, tr)
+		ctx, root = obs.StartSpan(ctx, "client_request")
+		defer func() {
+			root.End()
+			dump := tr.Dump()
+			if haveServer {
+				dump = obs.Graft(dump, graftAt, serverDump)
+			}
+			c.onTrace(method+" "+path, dump)
+		}()
+	}
+
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
@@ -333,16 +383,30 @@ func (c *Client) doRetry(method, path string, payload []byte) ([]byte, error) {
 		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if tr != nil {
+			req.Header.Set(obs.TraceHeader, obs.FormatTraceHeader(tr.ID(), true))
+		}
+		_, att := obs.StartSpan(ctx, "http_roundtrip")
 		resp, err := c.hc.Do(req)
 		if err != nil {
+			att.End()
 			lastErr = err // transport-level: connection refused/reset, timeout
 			continue
 		}
 		data, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		att.End()
 		if err != nil {
 			lastErr = err // response truncated mid-stream
 			continue
+		}
+		// Trailers are populated only once the body is fully consumed; a
+		// missing or malformed trailer (fixed-length responses drop it)
+		// just means no server subtree.
+		if tr != nil {
+			if d, ok := obs.DecodeDump(resp.Trailer.Get(obs.SpanHeader)); ok {
+				serverDump, graftAt, haveServer = d, att.Index(), true
+			}
 		}
 		if resp.StatusCode/100 != 2 {
 			return nil, statusError(resp.StatusCode, data)

@@ -1,0 +1,340 @@
+package dmsapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fairdms/internal/docstore"
+	"fairdms/internal/fairds"
+	"fairdms/internal/obs"
+)
+
+// traceSink collects sampled client traces keyed by "METHOD /path".
+type traceSink struct {
+	mu  sync.Mutex
+	got map[string][]obs.TraceDump
+}
+
+func (s *traceSink) add(op string, d obs.TraceDump) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.got == nil {
+		s.got = make(map[string][]obs.TraceDump)
+	}
+	s.got[op] = append(s.got[op], d)
+}
+
+func (s *traceSink) last(op string) (obs.TraceDump, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ds := s.got[op]
+	if len(ds) == 0 {
+		return obs.TraceDump{}, false
+	}
+	return ds[len(ds)-1], true
+}
+
+// spanIndex returns the index of the first span with the given name, or -1.
+func spanIndex(d obs.TraceDump, name string) int {
+	for i, sp := range d.Spans {
+		if sp.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// hasAncestor reports whether walking parents from span i reaches span anc.
+func hasAncestor(d obs.TraceDump, i, anc int) bool {
+	for hops := 0; i >= 0 && hops <= len(d.Spans); hops++ {
+		if i == anc {
+			return true
+		}
+		i = d.Spans[i].Parent
+	}
+	return false
+}
+
+// TestTraceSpansThreeTiers runs the full deployment shape — a docstore TCP
+// server, a dmsapi server using it through fairds.RemoteCollection, and a
+// sampling client — and checks that one sampled request comes back as a
+// single contiguous span tree: the client's spans, the server's grafted
+// under the round trip, and the fairds stage spans under the server's
+// request root.
+func TestTraceSpansThreeTiers(t *testing.T) {
+	dsrv := docstore.NewServer(docstore.NewStore(), docstore.ServerConfig{})
+	daddr, err := dsrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dsrv.Close() })
+	dcl, err := docstore.Dial(daddr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dcl.Close)
+	svc, err := fairds.New(idEmbedder{dim: 6}, fairds.RemoteCollection{Client: dcl, Name: "peaks"}, fairds.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, _ := startServer(t, ServerConfig{DS: svc})
+	sink := &traceSink{}
+	client, err := DialConfig(srv.Addr(), ClientConfig{TraceSample: 1, OnTrace: sink.add})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+
+	a, _ := twoRegimes(5, 24)
+	if _, err := client.Ingest("regime-a", a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Nearest(a[:3], false); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ingest trace must reach the store round trip: the store_insert
+	// stage runs inside fairds but spans the docstore TCP exchange.
+	ingest, ok := sink.last("POST " + PathIngest)
+	if !ok {
+		t.Fatal("no trace sampled for ingest")
+	}
+	assertContiguous(t, "ingest", ingest)
+	for _, name := range []string{"client_request", "http_roundtrip", "request", "embed", "store_insert"} {
+		if spanIndex(ingest, name) < 0 {
+			t.Errorf("ingest trace missing span %q (have %v)", name, ingest.SpanNames())
+		}
+	}
+
+	nearest, ok := sink.last("POST " + PathNearest)
+	if !ok {
+		t.Fatal("no trace sampled for nearest")
+	}
+	assertContiguous(t, "nearest", nearest)
+	// At least four named stages spanning client → server → fairds.
+	want := []string{"client_request", "http_roundtrip", "request", "embed"}
+	for _, name := range want {
+		if spanIndex(nearest, name) < 0 {
+			t.Errorf("nearest trace missing span %q (have %v)", name, nearest.SpanNames())
+		}
+	}
+	if spanIndex(nearest, "index_probe") < 0 && spanIndex(nearest, "store_scan") < 0 {
+		t.Errorf("nearest trace has neither index_probe nor store_scan: %v", nearest.SpanNames())
+	}
+	if n := len(nearest.SpanNames()); n < 4 {
+		t.Fatalf("nearest trace has %d named stages, want >= 4: %v", n, nearest.SpanNames())
+	}
+
+	// Tier ordering: the server's request span hangs under the client's
+	// round trip, and the fairds embed stage under the server's request.
+	root, rt, req, emb := spanIndex(nearest, "client_request"),
+		spanIndex(nearest, "http_roundtrip"), spanIndex(nearest, "request"), spanIndex(nearest, "embed")
+	if !hasAncestor(nearest, rt, root) {
+		t.Error("http_roundtrip is not under client_request")
+	}
+	if !hasAncestor(nearest, req, rt) {
+		t.Error("server request span was not grafted under the client round trip")
+	}
+	if !hasAncestor(nearest, emb, req) {
+		t.Error("fairds embed span is not under the server request span")
+	}
+}
+
+// assertContiguous checks the dump is one tree: exactly one root and every
+// parent index in range.
+func assertContiguous(t *testing.T, label string, d obs.TraceDump) {
+	t.Helper()
+	roots := 0
+	for i, sp := range d.Spans {
+		switch {
+		case sp.Parent == -1:
+			roots++
+		case sp.Parent < 0 || sp.Parent >= len(d.Spans):
+			t.Fatalf("%s trace span %d (%s) has out-of-range parent %d", label, i, sp.Name, sp.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("%s trace has %d roots, want 1 contiguous tree: %+v", label, roots, d.Spans)
+	}
+}
+
+// TestMetricszExposition scrapes /metricsz after live traffic and checks
+// the response is valid Prometheus text carrying every /statsz counter
+// family, including the per-endpoint vectors and (with training enabled)
+// the trainer counters.
+func TestMetricszExposition(t *testing.T) {
+	srv, client := startServer(t, ServerConfig{TrainWorkers: 1})
+	a, _ := twoRegimes(13, 24)
+	if _, err := client.Ingest("regime-a", a); err != nil {
+		t.Fatal(err)
+	}
+	pdf, err := client.PDF(a[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Recommend(pdf, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + srv.Addr() + PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", PathMetrics, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q lacks exposition version", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	families, err := obs.ValidateExposition(body)
+	if err != nil {
+		t.Fatalf("invalid exposition:\n%s\nerror: %v", body, err)
+	}
+
+	// Every /statsz counter has a registry family (registerMetrics).
+	want := []string{
+		"dms_uptime_seconds", "dms_requests_total", "dms_shed_total",
+		"dms_in_flight", "dms_cluster_k",
+		"dms_cache_hits_total", "dms_cache_misses_total", "dms_cache_coalesced_total",
+		"dms_cache_evictions_total", "dms_cache_size",
+		"dms_index_ready", "dms_index_size", "dms_index_hits_total",
+		"dms_index_misses_total", "dms_index_probed_total",
+		"dms_index_lists_probed_total", "dms_index_corrupt_total",
+		"dms_slow_requests_total",
+		"dms_train_submitted_total", "dms_train_completed_total",
+		"dms_train_failed_total", "dms_train_canceled_total",
+		"dms_train_warm_starts_total", "dms_train_cold_starts_total",
+		"dms_train_queue_depth", "dms_train_active",
+		"dms_endpoint_errors_total", "dms_endpoint_latency_seconds",
+	}
+	for _, name := range want {
+		if families[name] == 0 {
+			t.Errorf("exposition missing family %s", name)
+		}
+	}
+
+	// The scrape and /statsz read the same atomics: the requests counter
+	// in the exposition must cover at least the requests /statsz saw when
+	// the traffic above ran.
+	var exported float64
+	for _, line := range strings.Split(string(body), "\n") {
+		if v, ok := strings.CutPrefix(line, "dms_requests_total "); ok {
+			exported, err = strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				t.Fatalf("unparseable dms_requests_total sample %q", line)
+			}
+		}
+	}
+	if exported < 3 {
+		t.Errorf("dms_requests_total = %v after >=3 requests", exported)
+	}
+	if got := srv.Stats().Requests; float64(got) < exported-1 { // scrape itself may add one
+		t.Errorf("statsz requests %d disagrees with exposition %v", got, exported)
+	}
+}
+
+// TestSlowzCapturesSlowRequests runs a server whose slow threshold is one
+// nanosecond — everything is slow — and checks the ring serves entries with
+// full span trees, slowest first.
+func TestSlowzCapturesSlowRequests(t *testing.T) {
+	srv, client := startServer(t, ServerConfig{SlowThreshold: time.Nanosecond, SlowLogSize: 8})
+	a, _ := twoRegimes(17, 24)
+	if _, err := client.Ingest("regime-a", a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.PDF(a[:6]); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + srv.Addr() + PathSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", PathSlow, resp.StatusCode)
+	}
+	var out SlowzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ThresholdMS <= 0 {
+		t.Errorf("threshold_ms = %v", out.ThresholdMS)
+	}
+	if out.Total < 2 || len(out.Entries) < 2 {
+		t.Fatalf("slow ring total=%d entries=%d after 2+ requests", out.Total, len(out.Entries))
+	}
+	for i := 1; i < len(out.Entries); i++ {
+		if out.Entries[i].DurMS > out.Entries[i-1].DurMS {
+			t.Fatalf("entries not slowest-first: %v then %v",
+				out.Entries[i-1].DurMS, out.Entries[i].DurMS)
+		}
+	}
+	// Unsampled requests still retain their span trees — that is the point
+	// of the always-on ring.
+	seen := map[string]bool{}
+	for _, e := range out.Entries {
+		seen[e.Endpoint] = true
+		if e.Endpoint == "data.ingest" && spanIndex(e.Trace, "embed") < 0 {
+			t.Errorf("ingest slow entry lost its stage spans: %v", e.Trace.SpanNames())
+		}
+		if spanIndex(e.Trace, "request") < 0 {
+			t.Errorf("slow entry %s has no request span: %v", e.Endpoint, e.Trace.SpanNames())
+		}
+	}
+	if !seen["data.ingest"] {
+		t.Errorf("slow ring never saw data.ingest: %v", seen)
+	}
+}
+
+func TestSlowzDisabledIs404(t *testing.T) {
+	srv, _ := startServer(t, ServerConfig{}) // no SlowThreshold
+	resp, err := http.Get("http://" + srv.Addr() + PathSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("slowz without a threshold: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestStatsBuildInfo checks /statsz identifies the running build and
+// reports the tail percentile.
+func TestStatsBuildInfo(t *testing.T) {
+	_, client := startServer(t, ServerConfig{})
+	for i := 0; i < 4; i++ {
+		if _, err := client.Health(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := client.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GoVersion == "" || st.GoVersion == "unknown" {
+		t.Errorf("go_version = %q", st.GoVersion)
+	}
+	if st.Version == "" || st.Revision == "" {
+		t.Errorf("version %q / revision %q must at least be \"unknown\"", st.Version, st.Revision)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %v", st.UptimeSeconds)
+	}
+	ep := st.Endpoints["healthz"]
+	if ep.P999MS <= 0 || ep.P999MS < ep.P99MS {
+		t.Errorf("healthz p999=%v p99=%v after %d requests", ep.P999MS, ep.P99MS, ep.Count)
+	}
+}

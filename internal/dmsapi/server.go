@@ -11,6 +11,8 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -23,6 +25,7 @@ import (
 	"fairdms/internal/fairms"
 	"fairdms/internal/hdrhist"
 	"fairdms/internal/nn"
+	"fairdms/internal/obs"
 	"fairdms/internal/trainer"
 )
 
@@ -32,6 +35,7 @@ const (
 	defaultCacheSize    = 128
 	defaultMaxBodyBytes = 256 << 20 // 256 MiB: generous for sample batches, blocks runaway bodies
 	defaultMaxBatchDocs = 8192      // documents per ingest:batch request
+	defaultSlowLogSize  = 64        // slow-request ring entries
 )
 
 // ServerConfig wires a Server to its two services and tunes its behavior.
@@ -69,6 +73,17 @@ type ServerConfig struct {
 	// TrainQueue bounds jobs waiting for a training worker; submissions
 	// past it are shed with 429. Zero means trainer.DefaultQueue.
 	TrainQueue int
+	// SlowThreshold enables the always-on slow-request log: requests
+	// slower than this retain their full span tree in a ring served at
+	// GET /debug/slowz. Zero or negative disables the log (the route
+	// answers 404) and with it the per-request tracing overhead for
+	// unsampled requests.
+	SlowThreshold time.Duration
+	// SlowLogSize bounds the slow-request ring (default 64 entries).
+	SlowLogSize int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (opt-in: the
+	// profiling surface should not be reachable on every deployment).
+	EnablePprof bool
 	// Logger receives request-failure logs; nil silences them.
 	Logger *log.Logger
 }
@@ -111,25 +126,35 @@ type Server struct {
 
 	metrics map[string]*endpointMetrics
 
+	// reg is the central metrics registry behind GET /metricsz; every
+	// /statsz counter is mirrored into it as a func-backed metric reading
+	// the same atomics, so the two surfaces cannot drift. slow is the
+	// always-on slow-request ring behind GET /debug/slowz.
+	reg  *obs.Registry
+	slow *obs.SlowLog
+
+	epErrors  *obs.CounterVec
+	epLatency *obs.HistogramVec
+
 	// trainer is the embedded training-job subsystem (nil when
 	// TrainWorkers == 0). Its jobs read the data service under dsMu's
 	// read side and bump zooGen when a checkpoint lands in the zoo.
 	trainer *trainer.Manager
 }
 
-// endpointMetrics accumulates per-endpoint counters. Latency goes into a
-// lock-free bucketed histogram (count/sum/max/percentiles all derive from
-// it), so neither the request path nor a concurrent /statsz snapshot ever
-// serializes on a stats lock — the previous totals-only counters could
-// report averages but no tail.
+// endpointMetrics accumulates per-endpoint counters. Both live in the
+// metrics registry (error counter and latency histogram keyed by
+// endpoint), so /statsz and /metricsz read the very same atomics; the
+// histogram is lock-free, so neither the request path nor a concurrent
+// scrape ever serializes on a stats lock.
 type endpointMetrics struct {
-	errors atomic.Int64
-	hist   hdrhist.Histogram
+	errors *obs.Counter
+	hist   *hdrhist.Histogram
 }
 
 func (m *endpointMetrics) observe(d time.Duration, failed bool) {
 	if failed {
-		m.errors.Add(1)
+		m.errors.Inc()
 	}
 	m.hist.Record(d)
 }
@@ -164,17 +189,23 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MaxBatchDocs == 0 {
 		cfg.MaxBatchDocs = defaultMaxBatchDocs
 	}
+	if cfg.SlowLogSize == 0 {
+		cfg.SlowLogSize = defaultSlowLogSize
+	}
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		cache:   newCache(max(cfg.CacheSize, 0)),
 		metrics: make(map[string]*endpointMetrics),
+		reg:     obs.NewRegistry(),
+		slow:    obs.NewSlowLog(cfg.SlowLogSize, cfg.SlowThreshold),
 	}
 	if cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
 	s.clusterK.Store(int64(cfg.DS.K()))
+	s.registerMetrics()
 
 	s.route("POST "+PathIngest, "data.ingest", true, s.handleIngest)
 	s.route("POST "+PathIngestBatch, "data.ingest_batch", true, s.handleIngestBatch)
@@ -188,6 +219,18 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.route("GET "+PathCheckpoint, "models.checkpoint", true, s.handleCheckpoint)
 	s.route("GET "+PathHealth, "healthz", false, s.handleHealth)
 	s.route("GET "+PathStats, "statsz", false, s.handleStats)
+	// Scrape and debug surfaces share the shed exemption with health and
+	// stats: an overloaded server is exactly when its metrics and slow
+	// traces are needed.
+	s.route("GET "+PathMetrics, "metricsz", false, s.handleMetrics)
+	s.route("GET "+PathSlow, "slowz", false, s.handleSlow)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	if cfg.TrainWorkers > 0 {
 		mgr, err := trainer.New(trainer.Config{
@@ -201,7 +244,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			// A checkpoint landing in the zoo invalidates memoized
 			// recommend results exactly like a client-side model add.
 			OnRegister: func(string) { s.zooGen.Add(1) },
-			Logger:     cfg.Logger,
+			// Job stage timings land in the same registry and slow-request
+			// ring as serving traffic: epoch durations under
+			// dms_train_epoch_seconds, and any job slower than the request
+			// threshold retains its span tree in /debug/slowz.
+			Obs: s.reg,
+			OnTrace: func(d time.Duration, dump obs.TraceDump) {
+				s.slow.Observe("train.job", d, time.Now(), func() obs.TraceDump { return dump })
+			},
+			Logger: cfg.Logger,
 		})
 		if err != nil {
 			return nil, err
@@ -226,11 +277,108 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // disabled) — used by the daemon and tests.
 func (s *Server) Trainer() *trainer.Manager { return s.trainer }
 
-// route registers a handler with admission control and metrics. shed=false
-// exempts the endpoint from load shedding (health and stats must answer
-// even when the server is saturated).
+// Registry exposes the server's metrics registry so the daemon can hang
+// additional collectors (e.g. docstore RPC instrumentation) onto the same
+// /metricsz surface.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// SlowLog exposes the slow-request ring (disabled unless
+// ServerConfig.SlowThreshold > 0).
+func (s *Server) SlowLog() *obs.SlowLog { return s.slow }
+
+// registerMetrics mirrors every /statsz counter into the Prometheus
+// registry. Top-level, cache, and index counters stay owned by their
+// existing atomics and are read through closures — one source of truth,
+// two exposition formats. Per-endpoint series are added lazily by route().
+func (s *Server) registerMetrics() {
+	r := s.reg
+	r.GaugeFunc("dms_uptime_seconds", "seconds since server start",
+		func() float64 { return time.Since(s.start).Seconds() })
+	r.CounterFunc("dms_requests_total", "requests handled (shed excluded)", s.requests.Load)
+	r.CounterFunc("dms_shed_total", "requests rejected with 429 by admission control", s.shed.Load)
+	r.GaugeFunc("dms_in_flight", "requests currently being handled",
+		func() float64 { return float64(s.inFlight.Load()) })
+	r.GaugeFunc("dms_cluster_k", "fitted cluster count (0 = awaiting bootstrap)",
+		func() float64 { return float64(s.clusterK.Load()) })
+
+	r.CounterFunc("dms_cache_hits_total", "coalescing-cache hits", s.cache.hits.Load)
+	r.CounterFunc("dms_cache_misses_total", "coalescing-cache misses", s.cache.misses.Load)
+	r.CounterFunc("dms_cache_coalesced_total", "callers that piggybacked on an in-flight compute", s.cache.coalesced.Load)
+	r.CounterFunc("dms_cache_evictions_total", "LRU evictions", s.cache.evictions.Load)
+	r.GaugeFunc("dms_cache_size", "retained cache entries",
+		func() float64 { return float64(s.cache.len()) })
+
+	// IndexStats reads only atomics inside the data service, so scrapes
+	// never contend with queries or the bootstrap fit.
+	r.GaugeFunc("dms_index_ready", "1 when the vector index covers the store",
+		func() float64 {
+			if s.cfg.DS.IndexStats().Ready {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("dms_index_size", "indexed vectors",
+		func() float64 { return float64(s.cfg.DS.IndexStats().Size) })
+	r.CounterFunc("dms_index_hits_total", "nearest-label queries answered by the index",
+		func() int64 { return s.cfg.DS.IndexStats().Hits })
+	r.CounterFunc("dms_index_misses_total", "nearest-label queries that fell back to a store scan",
+		func() int64 { return s.cfg.DS.IndexStats().Misses })
+	r.CounterFunc("dms_index_probed_total", "vectors distance-compared by the index",
+		func() int64 { return s.cfg.DS.IndexStats().Probed })
+	r.CounterFunc("dms_index_lists_probed_total", "index partitions visited",
+		func() int64 { return s.cfg.DS.IndexStats().ListsProbed })
+	r.CounterFunc("dms_index_corrupt_total", "corrupt stored-document observations",
+		func() int64 { return s.cfg.DS.IndexStats().Corrupt })
+
+	r.CounterFunc("dms_slow_requests_total", "requests over the slow-log threshold", s.slow.Total)
+
+	if s.cfg.TrainWorkers > 0 {
+		trainStats := func(pick func(trainer.Stats) int64) func() int64 {
+			return func() int64 {
+				if s.trainer == nil { // scrape racing construction
+					return 0
+				}
+				return pick(s.trainer.Stats())
+			}
+		}
+		r.CounterFunc("dms_train_submitted_total", "training jobs submitted",
+			trainStats(func(t trainer.Stats) int64 { return t.Submitted }))
+		r.CounterFunc("dms_train_completed_total", "training jobs completed",
+			trainStats(func(t trainer.Stats) int64 { return t.Completed }))
+		r.CounterFunc("dms_train_failed_total", "training jobs failed",
+			trainStats(func(t trainer.Stats) int64 { return t.Failed }))
+		r.CounterFunc("dms_train_canceled_total", "training jobs canceled",
+			trainStats(func(t trainer.Stats) int64 { return t.Canceled }))
+		r.CounterFunc("dms_train_warm_starts_total", "jobs warm-started from a zoo checkpoint",
+			trainStats(func(t trainer.Stats) int64 { return t.WarmStarts }))
+		r.CounterFunc("dms_train_cold_starts_total", "jobs trained from scratch",
+			trainStats(func(t trainer.Stats) int64 { return t.ColdStarts }))
+		r.GaugeFunc("dms_train_queue_depth", "jobs waiting for a training worker",
+			func() float64 {
+				if s.trainer == nil {
+					return 0
+				}
+				return float64(s.trainer.Stats().QueueDepth)
+			})
+		r.GaugeFunc("dms_train_active", "jobs currently training",
+			func() float64 {
+				if s.trainer == nil {
+					return 0
+				}
+				return float64(s.trainer.Stats().Active)
+			})
+	}
+
+	s.epErrors = r.CounterVec("dms_endpoint_errors_total", "error responses by endpoint", "endpoint")
+	s.epLatency = r.HistogramVec("dms_endpoint_latency_seconds", "request latency by endpoint", "endpoint")
+}
+
+// route registers a handler with admission control, metrics, and
+// request tracing. shed=false exempts the endpoint from load shedding
+// (health, stats, and the metrics/slowz scrape surfaces must answer even
+// when the server is saturated).
 func (s *Server) route(pattern, name string, shed bool, h func(w http.ResponseWriter, r *http.Request) error) {
-	m := &endpointMetrics{}
+	m := &endpointMetrics{errors: s.epErrors.With(name), hist: s.epLatency.With(name)}
 	s.metrics[name] = m
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
@@ -249,9 +397,37 @@ func (s *Server) route(pattern, name string, shed bool, h func(w http.ResponseWr
 		s.inFlight.Add(1)
 		defer s.inFlight.Add(-1)
 		s.requests.Add(1)
+
+		// A trace is built when the client asked for one (X-Dms-Trace with
+		// ;sample) or the slow-request log might need it; otherwise the
+		// request runs with a nil trace and every span call no-ops.
+		id, sampled := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+		var tr *obs.Trace
+		var root *obs.Span
+		if sampled || s.slow.Enabled() {
+			tr = obs.NewTrace(id, sampled)
+			ctx := obs.NewContext(r.Context(), tr)
+			ctx, root = obs.StartSpan(ctx, "request")
+			r = r.WithContext(ctx)
+		}
+		if tr.Sampled() {
+			// The span tree is only complete after the body is written, so
+			// it rides back as an HTTP trailer (chunked responses only —
+			// fixed-length ones like checkpoint downloads drop it).
+			w.Header().Set("Trailer", obs.SpanHeader)
+		}
+
 		begin := time.Now()
 		err := h(w, r)
-		m.observe(time.Since(begin), err != nil)
+		d := time.Since(begin)
+		root.End()
+		m.observe(d, err != nil)
+		if tr != nil {
+			s.slow.Observe(name, d, time.Now(), tr.Dump)
+			if tr.Sampled() {
+				w.Header().Set(obs.SpanHeader, obs.EncodeDump(tr.Dump()))
+			}
+		}
 		if err != nil {
 			code := http.StatusInternalServerError
 			var he *httpError
@@ -321,6 +497,26 @@ func (s *Server) Requests() int64 { return s.requests.Load() }
 // Shed reports how many requests were rejected with 429.
 func (s *Server) Shed() int64 { return s.shed.Load() }
 
+// buildInfo reads the running binary's identity once: Go toolchain,
+// main-module version, and VCS revision (when built from a checkout).
+var buildInfo = sync.OnceValue(func() (bi struct{ goVersion, version, revision string }) {
+	bi.goVersion, bi.version, bi.revision = "unknown", "unknown", "unknown"
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.goVersion = info.GoVersion
+	if v := info.Main.Version; v != "" {
+		bi.version = v
+	}
+	for _, kv := range info.Settings {
+		if kv.Key == "vcs.revision" {
+			bi.revision = kv.Value
+		}
+	}
+	return bi
+})
+
 // Stats snapshots the server counters (the /statsz payload).
 func (s *Server) Stats() Stats {
 	eps := make(map[string]EndpointStats, len(s.metrics))
@@ -329,12 +525,13 @@ func (s *Server) Stats() Stats {
 		total := float64(snap.SumNS) / 1e6
 		ep := EndpointStats{
 			Count:   snap.Count,
-			Errors:  m.errors.Load(),
+			Errors:  m.errors.Value(),
 			TotalMS: total,
 			MaxMS:   float64(snap.MaxNS) / 1e6,
 			P50MS:   durMS(snap.Quantile(0.50)),
 			P95MS:   durMS(snap.Quantile(0.95)),
 			P99MS:   durMS(snap.Quantile(0.99)),
+			P999MS:  durMS(snap.Quantile(0.999)),
 		}
 		if snap.Count > 0 {
 			ep.AverageMS = total / float64(snap.Count)
@@ -346,11 +543,15 @@ func (s *Server) Stats() Stats {
 		snap := s.trainer.Stats()
 		ts = &snap
 	}
+	bi := buildInfo()
 	// IndexStats is atomically counted inside the data service, so no dsMu
 	// here — /statsz answers even during a bootstrap fit.
 	is := s.cfg.DS.IndexStats()
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		GoVersion:     bi.goVersion,
+		Version:       bi.version,
+		Revision:      bi.revision,
 		InFlight:      int(s.inFlight.Load()),
 		Shed:          s.shed.Load(),
 		Requests:      s.requests.Load(),
@@ -386,7 +587,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	s.dsMu.RLock()
-	ids, err := s.cfg.DS.IngestLabeled(samples, req.Dataset)
+	ids, err := s.cfg.DS.IngestLabeledContext(r.Context(), samples, req.Dataset)
 	s.dsMu.RUnlock()
 	if err != nil {
 		return serviceError(err)
@@ -450,7 +651,7 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) error
 			return err
 		}
 		s.dsMu.RLock()
-		res, err := s.cfg.DS.IngestLabeledBatch(valid, req.Dataset, fairds.BatchOptions{})
+		res, err := s.cfg.DS.IngestLabeledBatchContext(r.Context(), valid, req.Dataset, fairds.BatchOptions{})
 		s.dsMu.RUnlock()
 		if err != nil {
 			return serviceError(err)
@@ -519,7 +720,7 @@ func (s *Server) handleCertainty(w http.ResponseWriter, r *http.Request) error {
 		threshold = 0.5
 	}
 	s.dsMu.RLock()
-	cert, err := s.cfg.DS.Certainty(x, threshold)
+	cert, err := s.cfg.DS.CertaintyContext(r.Context(), x, threshold)
 	s.dsMu.RUnlock()
 	if err != nil {
 		return serviceError(err)
@@ -541,7 +742,7 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) error {
 		return errf(http.StatusBadRequest, "lookup: %v", err)
 	}
 	s.dsMu.RLock()
-	labeled, err := s.cfg.DS.LookupLabeled(x)
+	labeled, err := s.cfg.DS.LookupLabeledContext(r.Context(), x)
 	s.dsMu.RUnlock()
 	if err != nil {
 		return serviceError(err)
@@ -559,7 +760,7 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	s.dsMu.RLock()
-	matches, err := s.cfg.DS.NearestMatches(samples, req.Distinct)
+	matches, err := s.cfg.DS.NearestMatchesContext(r.Context(), samples, req.Distinct)
 	s.dsMu.RUnlock()
 	if err != nil {
 		return serviceError(err)
@@ -579,7 +780,7 @@ func (s *Server) handlePDF(w http.ResponseWriter, r *http.Request) error {
 		return errf(http.StatusBadRequest, "pdf: reading body: %v", err)
 	}
 	key := fmt.Sprintf("pdf:%d:%s", s.clusterGen.Load(), bodyHash(body))
-	v, err := s.cache.do(key, func() (any, error) {
+	v, err := s.cache.do(r.Context(), key, func(ctx context.Context) (any, error) {
 		var req PDFRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			return nil, errf(http.StatusBadRequest, "pdf: decoding request: %v", err)
@@ -593,7 +794,7 @@ func (s *Server) handlePDF(w http.ResponseWriter, r *http.Request) error {
 			return nil, errf(http.StatusBadRequest, "pdf: %v", err)
 		}
 		s.dsMu.RLock()
-		pdf, err := s.cfg.DS.DatasetPDF(x)
+		pdf, err := s.cfg.DS.DatasetPDFContext(ctx, x)
 		s.dsMu.RUnlock()
 		if err != nil {
 			return nil, serviceError(err)
@@ -654,12 +855,14 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) error {
 		return errf(http.StatusBadRequest, "recommend: reading body: %v", err)
 	}
 	key := fmt.Sprintf("rec:%d:%s", s.zooGen.Load(), bodyHash(body))
-	v, err := s.cache.do(key, func() (any, error) {
+	v, err := s.cache.do(r.Context(), key, func(ctx context.Context) (any, error) {
 		var req RecommendRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			return nil, errf(http.StatusBadRequest, "recommend: decoding request: %v", err)
 		}
+		_, sp := obs.StartSpan(ctx, "zoo_rank")
 		ranked, err := s.cfg.Zoo.Rank(req.PDF)
+		sp.End()
 		if err != nil {
 			return nil, errf(http.StatusBadRequest, "%v", err)
 		}
@@ -824,6 +1027,32 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, s.Stats())
+}
+
+// handleMetrics serves the Prometheus text exposition. Every /statsz
+// counter is a registry member (registerMetrics), so the two surfaces
+// always agree.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	return s.reg.WritePrometheus(w)
+}
+
+// handleSlow serves the slow-request ring: the retained span trees of the
+// slowest recent requests, slowest first. 404 when the log is disabled
+// (SlowThreshold <= 0), so probers can distinguish "off" from "empty".
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) error {
+	entries, err := s.slow.Snapshot()
+	if errors.Is(err, obs.ErrDisabled) {
+		return errf(http.StatusNotFound, "%v", err)
+	}
+	if err != nil {
+		return errf(http.StatusInternalServerError, "%v", err)
+	}
+	return writeJSON(w, SlowzResponse{
+		ThresholdMS: durMS(s.slow.Threshold()),
+		Total:       s.slow.Total(),
+		Entries:     entries,
+	})
 }
 
 // ---------------------------------------------------------------------------

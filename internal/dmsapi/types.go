@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"fairdms/internal/codec"
+	"fairdms/internal/obs"
 	"fairdms/internal/trainer"
 )
 
@@ -41,6 +42,8 @@ const (
 	PathTrainCancel = "/v1/train/{id}:cancel"
 	PathHealth      = "/healthz"
 	PathStats       = "/statsz"
+	PathMetrics     = "/metricsz"
+	PathSlow        = "/debug/slowz"
 )
 
 // Sample is the wire form of a codec.Sample. Data holds the little-endian
@@ -301,14 +304,23 @@ type ErrorResponse struct {
 }
 
 // Stats is the body of GET /statsz: a point-in-time snapshot of server
-// counters.
+// counters. The full schema is documented in docs/ARCHITECTURE.md; the
+// same counters are exported in Prometheus text form at /metricsz.
 type Stats struct {
-	UptimeSeconds float64    `json:"uptime_seconds"`
-	InFlight      int        `json:"in_flight"`
-	Shed          int64      `json:"shed"` // 429s returned
-	Requests      int64      `json:"requests"`
-	Cache         CacheStats `json:"cache"`
-	Index         IndexStats `json:"index"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// GoVersion/Version/Revision identify the running build (from
+	// runtime/debug.ReadBuildInfo): the Go toolchain, the main-module
+	// version, and the VCS revision when the binary was built from a
+	// checkout. "unknown" when the build carries no such metadata (e.g.
+	// go test binaries).
+	GoVersion string     `json:"go_version"`
+	Version   string     `json:"version"`
+	Revision  string     `json:"revision"`
+	InFlight  int        `json:"in_flight"`
+	Shed      int64      `json:"shed"` // 429s returned
+	Requests  int64      `json:"requests"`
+	Cache     CacheStats `json:"cache"`
+	Index     IndexStats `json:"index"`
 	// Train is present when the server embeds the training subsystem
 	// (ServerConfig.TrainWorkers > 0).
 	Train     *TrainStats              `json:"train,omitempty"`
@@ -354,4 +366,14 @@ type EndpointStats struct {
 	P50MS     float64 `json:"p50_ms"`
 	P95MS     float64 `json:"p95_ms"`
 	P99MS     float64 `json:"p99_ms"`
+	P999MS    float64 `json:"p999_ms"`
+}
+
+// SlowzResponse is the body of GET /debug/slowz: the retained
+// slow-request ring (slowest first), each entry carrying its full span
+// tree. 404 when the server runs without a slow threshold.
+type SlowzResponse struct {
+	ThresholdMS float64         `json:"threshold_ms"`
+	Total       int64           `json:"total"` // requests over threshold since start
+	Entries     []obs.SlowEntry `json:"entries"`
 }

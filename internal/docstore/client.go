@@ -31,6 +31,10 @@ type Client struct {
 	mu     sync.Mutex
 	idle   []*clientConn
 	closed bool
+
+	// instrument, when set, observes every round trip (op name, wall time
+	// including pool wait and retry, outcome). See Instrument.
+	instrument atomic.Pointer[func(op string, d time.Duration, err error)]
 }
 
 type clientConn struct {
@@ -118,11 +122,36 @@ func (c *Client) discard(cc *clientConn) {
 	c.slots <- struct{}{}
 }
 
+// Instrument installs a hook observing every round trip: the wire op's
+// lowercase_snake name ("get_many", "insert_many", ...), its wall time —
+// pool wait and the single broken-connection retry included, so the hook
+// sees what the caller experienced — and the outcome. The daemon uses it
+// to surface store RPC counters and latency on /metricsz. Pass nil to
+// uninstall. Safe to call concurrently with in-flight requests; keep the
+// hook cheap, it runs on the request path.
+func (c *Client) Instrument(fn func(op string, d time.Duration, err error)) {
+	var p *func(op string, d time.Duration, err error)
+	if fn != nil {
+		p = &fn
+	}
+	c.instrument.Store(p)
+}
+
 // roundTrip sends one request and reads one response, retrying once on a
 // broken pooled connection (the peer may have dropped it between uses).
 // Responses are matched to requests by sequence number; a mismatch means
 // the connection carries a stale or reordered stream and is discarded.
 func (c *Client) roundTrip(req *request) (*response, error) {
+	if fn := c.instrument.Load(); fn != nil {
+		begin := time.Now()
+		resp, err := c.roundTripUninstrumented(req)
+		(*fn)(req.Op.opName(), time.Since(begin), err)
+		return resp, err
+	}
+	return c.roundTripUninstrumented(req)
+}
+
+func (c *Client) roundTripUninstrumented(req *request) (*response, error) {
 	req.Seq = c.seq.Add(1)
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {

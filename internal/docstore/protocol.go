@@ -32,6 +32,45 @@ const (
 	opDrop
 )
 
+// opName maps wire ops to the lowercase_snake names used as metric label
+// values by Client.Instrument hooks.
+func (op reqOp) opName() string {
+	switch op {
+	case opPing:
+		return "ping"
+	case opInsert:
+		return "insert"
+	case opInsertMany:
+		return "insert_many"
+	case opGet:
+		return "get"
+	case opGetMany:
+		return "get_many"
+	case opUpdate:
+		return "update"
+	case opDelete:
+		return "delete"
+	case opFind:
+		return "find"
+	case opFindIDs:
+		return "find_ids"
+	case opCount:
+		return "count"
+	case opSample:
+		return "sample"
+	case opCreateHashIndex:
+		return "create_hash_index"
+	case opCreateOrderedIndex:
+		return "create_ordered_index"
+	case opNames:
+		return "names"
+	case opDrop:
+		return "drop"
+	default:
+		return "unknown"
+	}
+}
+
 // request is the client→server message.
 type request struct {
 	Seq        uint64

@@ -1,6 +1,7 @@
 package fairds
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"fairdms/internal/codec"
 	"fairdms/internal/docstore"
 	"fairdms/internal/embed"
+	"fairdms/internal/obs"
 	"fairdms/internal/tensor"
 )
 
@@ -76,6 +78,15 @@ func (o *BatchOptions) defaults() {
 // The returned error is reserved for whole-call problems (unfitted
 // clustering model).
 func (s *Service) IngestLabeledBatch(samples []*codec.Sample, dataset string, opt BatchOptions) (BatchResult, error) {
+	return s.IngestLabeledBatchContext(context.Background(), samples, dataset, opt)
+}
+
+// IngestLabeledBatchContext is IngestLabeledBatch with a context carrying
+// an optional obs trace: each chunk records encode, embed, store_insert,
+// and index_add spans, so a slow batch shows which stage of which chunk
+// dominated (chunks run concurrently; their spans interleave under the
+// request span).
+func (s *Service) IngestLabeledBatchContext(ctx context.Context, samples []*codec.Sample, dataset string, opt BatchOptions) (BatchResult, error) {
 	if err := s.requireClusters(); err != nil {
 		return BatchResult{}, err
 	}
@@ -124,7 +135,7 @@ func (s *Service) IngestLabeledBatch(samples []*codec.Sample, dataset string, op
 		go func() {
 			defer wg.Done()
 			for span := range work {
-				s.ingestChunk(samples, span.lo, span.hi, refWidth, dataset, res.IDs, fail)
+				s.ingestChunk(ctx, samples, span.lo, span.hi, refWidth, dataset, res.IDs, fail)
 			}
 		}()
 	}
@@ -140,9 +151,10 @@ func (s *Service) IngestLabeledBatch(samples []*codec.Sample, dataset string, op
 
 // ingestChunk runs one chunk through validate→encode→embed→insert→index.
 // ids is the batch-wide result slice; this chunk only writes its own span.
-func (s *Service) ingestChunk(samples []*codec.Sample, lo, hi, refWidth int, dataset string, ids []string, fail func(int, error)) {
+func (s *Service) ingestChunk(ctx context.Context, samples []*codec.Sample, lo, hi, refWidth int, dataset string, ids []string, fail func(int, error)) {
 	// Per-document validation and payload encoding. A bad document is
 	// reported and dropped; the chunk carries on with the survivors.
+	_, sp := obs.StartSpan(ctx, "encode")
 	valid := make([]int, 0, hi-lo)       // original indices of surviving docs
 	payloads := make([][]byte, 0, hi-lo) // encoded payloads, parallel to valid
 	for i := lo; i < hi; i++ {
@@ -167,18 +179,21 @@ func (s *Service) ingestChunk(samples []*codec.Sample, lo, hi, refWidth int, dat
 		valid = append(valid, i)
 		payloads = append(payloads, raw)
 	}
+	sp.End()
 	if len(valid) == 0 {
 		return
 	}
 
 	// One embedder pass for the chunk's survivors. FloatsInto decodes each
 	// payload straight into its tensor row — no per-document scratch slice.
+	_, sp = obs.StartSpan(ctx, "embed")
 	x := tensor.New(len(valid), refWidth)
 	for row, i := range valid {
 		samples[i].FloatsInto(x.Row(row))
 	}
 	rows := embed.EmbedRows(s.embedder, x)
 	assign := s.km.Predict(rows)
+	sp.End()
 
 	fields := make([]docstore.Fields, len(valid))
 	for row := range valid {
@@ -189,7 +204,9 @@ func (s *Service) ingestChunk(samples []*codec.Sample, lo, hi, refWidth int, dat
 			"dataset":   dataset,
 		}
 	}
+	_, sp = obs.StartSpan(ctx, "store_insert")
 	chunkIDs, err := s.store.InsertMany(fields)
+	sp.End()
 	if err != nil {
 		// InsertMany is atomic per chunk: nothing from this chunk landed.
 		err = fmt.Errorf("fairds: storing chunk: %w", err)
@@ -204,10 +221,12 @@ func (s *Service) ingestChunk(samples []*codec.Sample, lo, hi, refWidth int, dat
 	// Same cold-index rule as IngestLabeled: a cold index needs a wholesale
 	// WarmIndex/Reindex anyway, so only a ready index is maintained inline.
 	if s.indexReady() {
+		_, sp = obs.StartSpan(ctx, "index_add")
 		for row := range valid {
 			if err := s.idx.Add(chunkIDs[row], assign[row], rows[row]); err != nil {
 				s.noteCorrupt(chunkIDs[row], err)
 			}
 		}
+		sp.End()
 	}
 }

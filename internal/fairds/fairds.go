@@ -15,6 +15,7 @@
 package fairds
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -26,6 +27,7 @@ import (
 	"fairdms/internal/codec"
 	"fairdms/internal/docstore"
 	"fairdms/internal/embed"
+	"fairdms/internal/obs"
 	"fairdms/internal/stats"
 	"fairdms/internal/tensor"
 	"fairdms/internal/vecindex"
@@ -273,22 +275,37 @@ func (s *Service) requireClusters() error {
 // building the index as data are written, which is what makes later label
 // lookups cheap.
 func (s *Service) IngestLabeled(samples []*codec.Sample, dataset string) ([]string, error) {
+	return s.IngestLabeledContext(context.Background(), samples, dataset)
+}
+
+// IngestLabeledContext is IngestLabeled with a context carrying an
+// optional obs trace; stage spans (embed, encode, store_insert,
+// index_add) attach to it. The database/sql QueryContext convention:
+// serving paths call the Context form, batch/offline callers keep the
+// plain one.
+func (s *Service) IngestLabeledContext(ctx context.Context, samples []*codec.Sample, dataset string) ([]string, error) {
 	if err := s.requireClusters(); err != nil {
 		return nil, err
 	}
 	if len(samples) == 0 {
 		return nil, nil
 	}
+	_, sp := obs.StartSpan(ctx, "embed")
 	x, err := collate(samples)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	rows := embed.EmbedRows(s.embedder, x)
 	assign := s.km.Predict(rows)
+	sp.End()
+
+	_, sp = obs.StartSpan(ctx, "encode")
 	fields := make([]docstore.Fields, len(samples))
 	for i, smp := range samples {
 		raw, err := s.cfg.Codec.Encode(smp)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("fairds: encoding sample %d: %w", i, err)
 		}
 		fields[i] = docstore.Fields{
@@ -298,7 +315,11 @@ func (s *Service) IngestLabeled(samples []*codec.Sample, dataset string) ([]stri
 			"dataset":   dataset,
 		}
 	}
+	sp.End()
+
+	_, sp = obs.StartSpan(ctx, "store_insert")
 	ids, err := s.store.InsertMany(fields)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("fairds: storing samples: %w", err)
 	}
@@ -306,6 +327,7 @@ func (s *Service) IngestLabeled(samples []*codec.Sample, dataset string) ([]stri
 	// Reindex anyway, and after SetEmbedder the new-dimension rows would
 	// only produce a flood of false "corrupt" rejections.
 	if s.indexReady() {
+		_, sp = obs.StartSpan(ctx, "index_add")
 		for i, id := range ids {
 			if err := s.idx.Add(id, assign[i], rows[i]); err != nil {
 				// The store write already succeeded; an index refusal (a
@@ -314,6 +336,7 @@ func (s *Service) IngestLabeled(samples []*codec.Sample, dataset string) ([]stri
 				s.noteCorrupt(id, err)
 			}
 		}
+		sp.End()
 	}
 	return ids, nil
 }
@@ -322,20 +345,39 @@ func (s *Service) IngestLabeled(samples []*codec.Sample, dataset string) ([]stri
 // the fraction of its samples assigned to each cluster. This compact
 // signature is what fairMS indexes models by.
 func (s *Service) DatasetPDF(x *tensor.Tensor) (stats.PDF, error) {
+	return s.DatasetPDFContext(context.Background(), x)
+}
+
+// DatasetPDFContext is DatasetPDF with trace-span stages (embed, pdf).
+func (s *Service) DatasetPDFContext(ctx context.Context, x *tensor.Tensor) (stats.PDF, error) {
 	if err := s.requireClusters(); err != nil {
 		return nil, err
 	}
+	_, sp := obs.StartSpan(ctx, "embed")
 	rows := embed.EmbedRows(s.embedder, x)
+	sp.End()
+	_, sp = obs.StartSpan(ctx, "pdf")
+	defer sp.End()
 	return s.km.PDF(rows), nil
 }
 
 // Certainty returns the fraction of samples clustered with fuzzy
 // membership of at least threshold — the §III-I trigger signal.
 func (s *Service) Certainty(x *tensor.Tensor, threshold float64) (float64, error) {
+	return s.CertaintyContext(context.Background(), x, threshold)
+}
+
+// CertaintyContext is Certainty with trace-span stages (embed,
+// certainty).
+func (s *Service) CertaintyContext(ctx context.Context, x *tensor.Tensor, threshold float64) (float64, error) {
 	if err := s.requireClusters(); err != nil {
 		return 0, err
 	}
+	_, sp := obs.StartSpan(ctx, "embed")
 	rows := embed.EmbedRows(s.embedder, x)
+	sp.End()
+	_, sp = obs.StartSpan(ctx, "certainty")
+	defer sp.End()
 	return s.km.Certainty(rows, s.cfg.Fuzzifier, threshold), nil
 }
 
@@ -350,16 +392,25 @@ func (s *Service) Certainty(x *tensor.Tensor, threshold float64) (float64, error
 // local. Results are assembled in cluster order, so output is
 // deterministic regardless of fetch completion order.
 func (s *Service) LookupLabeled(x *tensor.Tensor) ([]*codec.Sample, error) {
+	return s.LookupLabeledContext(context.Background(), x)
+}
+
+// LookupLabeledContext is LookupLabeled with trace-span stages: the PDF
+// stages plus a store_lookup span covering the concurrent per-cluster
+// round trips (each of which records its own store_sample and
+// store_fetch spans).
+func (s *Service) LookupLabeledContext(ctx context.Context, x *tensor.Tensor) ([]*codec.Sample, error) {
 	if err := s.requireClusters(); err != nil {
 		return nil, err
 	}
-	pdf, err := s.DatasetPDF(x)
+	pdf, err := s.DatasetPDFContext(ctx, x)
 	if err != nil {
 		return nil, err
 	}
 	want := x.Dim(0)
 	counts := apportion(pdf, want)
 
+	lctx, lookupSpan := obs.StartSpan(ctx, "store_lookup")
 	perCluster := make([][]*codec.Sample, len(counts))
 	errs := make([]error, len(counts))
 	var wg sync.WaitGroup
@@ -370,14 +421,18 @@ func (s *Service) LookupLabeled(x *tensor.Tensor) ([]*codec.Sample, error) {
 		wg.Add(1)
 		go func(k, n int) {
 			defer wg.Done()
+			_, sp := obs.StartSpan(lctx, "store_sample")
 			ids, err := s.store.SampleIDs(docstore.Query{
 				Filters: []docstore.Filter{docstore.Eq("cluster", k)},
 			}, n, s.cfg.Seed+int64(k))
+			sp.End()
 			if err != nil {
 				errs[k] = fmt.Errorf("fairds: sampling cluster %d: %w", k, err)
 				return
 			}
+			_, sp = obs.StartSpan(lctx, "store_fetch")
 			docs, err := s.store.GetMany(ids)
+			sp.End()
 			if err != nil {
 				errs[k] = fmt.Errorf("fairds: fetching cluster %d: %w", k, err)
 				return
@@ -395,6 +450,7 @@ func (s *Service) LookupLabeled(x *tensor.Tensor) ([]*codec.Sample, error) {
 		}(k, n)
 	}
 	wg.Wait()
+	lookupSpan.End()
 	var out []*codec.Sample
 	for k := range counts {
 		if errs[k] != nil {
@@ -501,15 +557,24 @@ type Match struct {
 // use GetSamples on the IDs the caller decides to reuse. This is the
 // high-throughput path for Fig. 9-style bulk label reuse.
 func (s *Service) NearestMatches(samples []*codec.Sample, distinct bool) ([]Match, error) {
+	return s.NearestMatchesContext(context.Background(), samples, distinct)
+}
+
+// NearestMatchesContext is NearestMatches with trace-span stages: embed,
+// then index_probe (warm index) or store_scan (cold fallback).
+func (s *Service) NearestMatchesContext(ctx context.Context, samples []*codec.Sample, distinct bool) ([]Match, error) {
 	if err := s.requireClusters(); err != nil {
 		return nil, err
 	}
+	_, sp := obs.StartSpan(ctx, "embed")
 	x, err := collate(samples)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	rows := embed.EmbedRows(s.embedder, x)
 	assign := s.km.Predict(rows)
+	sp.End()
 
 	used := make(map[string]bool)
 	out := make([]Match, len(samples))
@@ -517,6 +582,8 @@ func (s *Service) NearestMatches(samples []*codec.Sample, distinct bool) ([]Matc
 	if s.indexReady() {
 		// In-process probes: one index query per sample, no store traffic.
 		s.idxHits.Add(int64(len(samples)))
+		_, sp := obs.StartSpan(ctx, "index_probe")
+		defer sp.End()
 		var exclude func(string) bool
 		if distinct {
 			exclude = func(id string) bool { return used[id] }
@@ -537,6 +604,8 @@ func (s *Service) NearestMatches(samples []*codec.Sample, distinct bool) ([]Matc
 
 	// Cold fallback: one projected scan per distinct cluster.
 	s.idxMisses.Add(int64(len(samples)))
+	_, scanSpan := obs.StartSpan(ctx, "store_scan")
+	defer scanSpan.End()
 	type entry struct {
 		id  string
 		emb []float64
@@ -590,15 +659,25 @@ func (s *Service) NearestMatches(samples []*codec.Sample, distinct bool) ([]Matc
 // "train on scan X" job against without the samples crossing the wire
 // again.
 func (s *Service) DatasetSamples(dataset string) ([]*codec.Sample, error) {
+	return s.DatasetSamplesContext(context.Background(), dataset)
+}
+
+// DatasetSamplesContext is DatasetSamples with trace-span stages
+// (store_scan, decode) — the trainer's data-resolution path.
+func (s *Service) DatasetSamplesContext(ctx context.Context, dataset string) ([]*codec.Sample, error) {
 	if dataset == "" {
 		return nil, errors.New("fairds: empty dataset tag")
 	}
+	_, sp := obs.StartSpan(ctx, "store_scan")
 	docs, err := s.store.Find(docstore.Query{
 		Filters: []docstore.Filter{docstore.Eq("dataset", dataset)},
 	})
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("fairds: fetching dataset %q: %w", dataset, err)
 	}
+	_, sp = obs.StartSpan(ctx, "decode")
+	defer sp.End()
 	out := make([]*codec.Sample, len(docs))
 	for i, d := range docs {
 		smp, err := s.decodeDoc(d)

@@ -30,6 +30,7 @@ import (
 	"fairdms/internal/fsx"
 	"fairdms/internal/hdrhist"
 	"fairdms/internal/nn"
+	"fairdms/internal/obs"
 	"fairdms/internal/stats"
 )
 
@@ -83,6 +84,13 @@ type Config struct {
 	SetupDocs int
 	// Seed drives deterministic sample generation and op scheduling.
 	Seed int64
+	// TraceSample, when > 0, traces every Nth request end to end (client
+	// span tree with the server's grafted underneath) and retains the
+	// slowest trees in the report's trace_samples — the "why was p99 slow"
+	// artifact next to the latency numbers. Zero disables tracing.
+	TraceSample int
+	// TraceKeep bounds retained trace samples (default 8).
+	TraceKeep int
 	// Logf, when set, receives progress lines (e.g. log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -111,6 +119,9 @@ func (c *Config) defaults() error {
 	}
 	if c.TrainEpochs <= 0 {
 		c.TrainEpochs = 3
+	}
+	if c.TraceKeep <= 0 {
+		c.TraceKeep = 8
 	}
 	if len(c.Mix) == 0 {
 		c.Mix = map[Op]int{OpIngestBatch: 1, OpCertainty: 2, OpNearest: 4, OpRecommend: 4}
@@ -185,7 +196,16 @@ type OpStats struct {
 	P50MS      float64 `json:"p50_ms"`
 	P95MS      float64 `json:"p95_ms"`
 	P99MS      float64 `json:"p99_ms"`
+	P999MS     float64 `json:"p999_ms"`
 	MaxMS      float64 `json:"max_ms"`
+}
+
+// TraceSample is one retained end-to-end span tree: the wire op that
+// produced it, its total duration, and the merged client+server tree.
+type TraceSample struct {
+	Op    string        `json:"op"`
+	DurMS float64       `json:"dur_ms"`
+	Trace obs.TraceDump `json:"trace"`
 }
 
 // ServerDelta is what the run did to the daemon, from /statsz snapshots
@@ -226,6 +246,10 @@ type Report struct {
 
 	// Server-side view of the same window.
 	Server *ServerDelta `json:"server,omitempty"`
+
+	// TraceSamples are the slowest sampled span trees (Config.TraceSample),
+	// slowest first — the diagnosis companion to the tail percentiles.
+	TraceSamples []TraceSample `json:"trace_samples,omitempty"`
 }
 
 // WriteFile writes the report as indented JSON, crash-safely (tmp +
@@ -257,7 +281,13 @@ func Run(cfg Config) (*Report, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	client, err := dmsapi.Dial(cfg.Addr)
+	traces := &traceCollector{keep: cfg.TraceKeep}
+	ccfg := dmsapi.ClientConfig{}
+	if cfg.TraceSample > 0 {
+		ccfg.TraceSample = cfg.TraceSample
+		ccfg.OnTrace = traces.add
+	}
+	client, err := dmsapi.DialConfig(cfg.Addr, ccfg)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: dialing %s: %w", cfg.Addr, err)
 	}
@@ -362,7 +392,46 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("loadgen: /statsz after: %w", err)
 	}
 
-	return assemble(cfg, start, elapsed, counters, before, after), nil
+	rep := assemble(cfg, start, elapsed, counters, before, after)
+	rep.TraceSamples = traces.snapshot()
+	if cfg.TraceSample > 0 {
+		logf("loadgen: retained %d trace samples (every %dth request traced)",
+			len(rep.TraceSamples), cfg.TraceSample)
+	}
+	return rep, nil
+}
+
+// traceCollector keeps the slowest sampled span trees. The client calls
+// add synchronously on worker goroutines, so it holds its own lock and
+// stays cheap: one duration computation plus an insertion into a small
+// sorted slice.
+type traceCollector struct {
+	mu      sync.Mutex
+	keep    int
+	samples []TraceSample
+}
+
+func (tc *traceCollector) add(op string, dump obs.TraceDump) {
+	s := TraceSample{Op: op, DurMS: durMS(dump.Duration()), Trace: dump}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	i := sort.Search(len(tc.samples), func(i int) bool { return tc.samples[i].DurMS < s.DurMS })
+	if i >= tc.keep {
+		return
+	}
+	tc.samples = append(tc.samples, TraceSample{})
+	copy(tc.samples[i+1:], tc.samples[i:])
+	tc.samples[i] = s
+	if len(tc.samples) > tc.keep {
+		tc.samples = tc.samples[:tc.keep]
+	}
+}
+
+// snapshot returns the retained samples, slowest first.
+func (tc *traceCollector) snapshot() []TraceSample {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return append([]TraceSample(nil), tc.samples...)
 }
 
 // runOp executes one operation, returning how many documents it ingested.
@@ -487,6 +556,7 @@ func assemble(cfg Config, start time.Time, elapsed time.Duration, counters map[O
 			P50MS:  durMS(snap.Quantile(0.50)),
 			P95MS:  durMS(snap.Quantile(0.95)),
 			P99MS:  durMS(snap.Quantile(0.99)),
+			P999MS: durMS(snap.Quantile(0.999)),
 			MaxMS:  durMS(snap.Max()),
 		}
 		if elapsed > 0 {

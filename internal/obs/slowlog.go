@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrDisabled is returned by SlowLog.Snapshot when the log was built with
+// a non-positive threshold. API handlers map it to 404 Not Found (see the
+// errboundary sentinel table): the route exists, the feature is off.
+var ErrDisabled = errors.New("obs: slow-request log disabled")
+
+// SlowEntry is one retained slow request: what it was, how long it took,
+// and its full span tree.
+type SlowEntry struct {
+	Endpoint string    `json:"endpoint"`
+	DurMS    float64   `json:"dur_ms"`
+	At       time.Time `json:"at"`
+	Trace    TraceDump `json:"trace"`
+}
+
+// SlowLog is an always-on, fixed-memory ring of the most recent requests
+// that crossed a latency threshold, each with its span tree. The fast
+// path — a request under the threshold — is one comparison and no lock,
+// so it is safe to leave enabled in production; that is the point: when a
+// p99.9 spike happens at 3am, the evidence is already in memory.
+type SlowLog struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	ring      []SlowEntry
+	next      int
+	total     int64
+}
+
+// NewSlowLog returns a ring of size entries retaining requests slower
+// than threshold. A non-positive threshold disables the log (Observe
+// no-ops, Snapshot returns ErrDisabled); size is clamped to at least 1
+// when enabled.
+func NewSlowLog(size int, threshold time.Duration) *SlowLog {
+	if size < 1 {
+		size = 1
+	}
+	return &SlowLog{threshold: threshold, ring: make([]SlowEntry, 0, size)}
+}
+
+// Enabled reports whether the log retains anything. Nil-safe.
+func (l *SlowLog) Enabled() bool { return l != nil && l.threshold > 0 }
+
+// Threshold returns the configured latency threshold. Nil-safe.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Observe records one finished request. The span dump is materialized
+// lazily — only when the request actually crossed the threshold — so the
+// common fast request costs a single comparison. Returns whether the
+// entry was retained. Nil-safe.
+func (l *SlowLog) Observe(endpoint string, d time.Duration, at time.Time, dump func() TraceDump) bool {
+	if !l.Enabled() || d < l.threshold {
+		return false
+	}
+	e := SlowEntry{Endpoint: endpoint, DurMS: float64(d) / float64(time.Millisecond), At: at}
+	if dump != nil {
+		e.Trace = dump()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[l.next] = e
+		l.next = (l.next + 1) % cap(l.ring)
+	}
+	return true
+}
+
+// Total returns how many requests have crossed the threshold since start
+// (retained or already evicted from the ring). Nil-safe.
+func (l *SlowLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained entries, slowest first. When the log is
+// disabled it returns ErrDisabled.
+func (l *SlowLog) Snapshot() ([]SlowEntry, error) {
+	if !l.Enabled() {
+		return nil, ErrDisabled
+	}
+	l.mu.Lock()
+	out := make([]SlowEntry, len(l.ring))
+	copy(out, l.ring)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].DurMS > out[j].DurMS })
+	return out, nil
+}

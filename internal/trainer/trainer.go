@@ -38,8 +38,10 @@ import (
 	"fairdms/internal/core"
 	"fairdms/internal/fairds"
 	"fairdms/internal/fairms"
+	"fairdms/internal/hdrhist"
 	"fairdms/internal/models"
 	"fairdms/internal/nn"
+	"fairdms/internal/obs"
 	"fairdms/internal/tensor"
 )
 
@@ -218,6 +220,15 @@ type Config struct {
 	// OnRegister, when set, fires after a job's checkpoint lands in the
 	// zoo — the dmsapi server uses it to invalidate its recommend cache.
 	OnRegister func(modelID string)
+	// Obs, when set, receives the trainer's metrics: per-epoch wall time
+	// under dms_train_epoch_seconds. Registration happens in New, so a
+	// registry must not already hold that name.
+	Obs *obs.Registry
+	// OnTrace, when set, fires as each job reaches a terminal state with
+	// its wall time and span tree (resolve_data → pdf → recommend → fit,
+	// with fairds stage spans underneath) — the dmsapi server routes these
+	// into the same slow-request log as serving traffic.
+	OnTrace func(d time.Duration, dump obs.TraceDump)
 	// Logger receives job-lifecycle logs; nil silences them.
 	Logger *log.Logger
 }
@@ -265,6 +276,9 @@ type Manager struct {
 	warmStarts atomic.Int64
 	coldStarts atomic.Int64
 
+	// epochHist records per-epoch training wall time (nil without cfg.Obs).
+	epochHist *hdrhist.Histogram
+
 	// testHookBeforeTrain, when set, runs inside the worker just before
 	// training starts — the panic-injection point for crash-safety tests.
 	testHookBeforeTrain func(id string)
@@ -288,6 +302,9 @@ func New(cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:  cfg,
 		jobs: make(map[string]*job),
+	}
+	if cfg.Obs != nil {
+		m.epochHist = cfg.Obs.Histogram("dms_train_epoch_seconds", "training epoch wall time")
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m, nil
@@ -641,14 +658,35 @@ func (m *Manager) run(j *job) (committed bool, err error) {
 	}
 	spec := j.spec
 
+	// Jobs get the same span treatment as requests: a trace is built only
+	// when someone is listening (cfg.OnTrace), otherwise every span call
+	// below no-ops on a nil trace. The defer fires on every terminal path —
+	// done, failed, canceled, even a panic unwinding through runSafely.
+	var tr *obs.Trace
+	if m.cfg.OnTrace != nil {
+		tr = obs.NewTrace("", false)
+	}
+	ctx := obs.NewContext(j.ctx, tr)
+	ctx, root := obs.StartSpan(ctx, "train_job")
+	jobStart := time.Now()
+	defer func() {
+		root.End()
+		if tr != nil {
+			m.cfg.OnTrace(time.Since(jobStart), tr.Dump())
+		}
+	}()
+
 	// Resolve the training set: inline samples or a stored dataset tag.
 	samples := spec.Samples
 	if len(samples) == 0 {
-		if err := m.readLocked(func() error {
+		rctx, sp := obs.StartSpan(ctx, "resolve_data")
+		err := m.readLocked(func() error {
 			var err error
-			samples, err = m.cfg.DS.DatasetSamples(spec.Dataset)
+			samples, err = m.cfg.DS.DatasetSamplesContext(rctx, spec.Dataset)
 			return err
-		}); err != nil {
+		})
+		sp.End()
+		if err != nil {
 			return false, err
 		}
 		// Stored datasets get the same label gate as inline submissions:
@@ -679,11 +717,14 @@ func (m *Manager) run(j *job) (committed bool, err error) {
 	// The dataset's cluster PDF — both the warm-start query key and the
 	// signature the finished checkpoint is registered under.
 	var pdf []float64
-	if err := m.readLocked(func() error {
-		p, err := m.cfg.DS.DatasetPDF(x)
+	pctx, sp := obs.StartSpan(ctx, "pdf")
+	err = m.readLocked(func() error {
+		p, err := m.cfg.DS.DatasetPDFContext(pctx, x)
 		pdf = p
 		return err
-	}); err != nil {
+	})
+	sp.End()
+	if err != nil {
 		return false, err
 	}
 
@@ -694,7 +735,10 @@ func (m *Manager) run(j *job) (committed bool, err error) {
 	foundation := ""
 	jsd := 0.0
 	if spec.MaxJSD > 0 {
-		if rec, ok := m.cfg.Zoo.RecommendWithThreshold(pdf, spec.MaxJSD); ok {
+		_, sp := obs.StartSpan(ctx, "recommend")
+		rec, ok := m.cfg.Zoo.RecommendWithThreshold(pdf, spec.MaxJSD)
+		sp.End()
+		if ok {
 			if err := model.LoadState(rec.Record.State); err != nil {
 				m.logf("trainer: %s: foundation %s incompatible (%v), cold-starting",
 					j.status.ID, rec.Record.ID, err)
@@ -726,6 +770,8 @@ func (m *Manager) run(j *job) (committed bool, err error) {
 	}
 
 	trainX, trainY, valX, valY := core.Split(x, y, spec.ValFraction, spec.Seed)
+	_, fitSpan := obs.StartSpan(ctx, "fit")
+	epochStart := time.Now()
 	res := nn.Fit(model, nn.NewAdam(model.Params(), lr), trainX, trainY, valX, valY, nn.TrainConfig{
 		Epochs:     spec.Epochs,
 		BatchSize:  spec.BatchSize,
@@ -733,6 +779,11 @@ func (m *Manager) run(j *job) (committed bool, err error) {
 		Patience:   spec.Patience,
 		Seed:       spec.Seed,
 		OnEpoch: func(epoch int, trainLoss, valLoss float64) bool {
+			if m.epochHist != nil {
+				now := time.Now()
+				m.epochHist.Record(now.Sub(epochStart))
+				epochStart = now
+			}
 			j.mu.Lock()
 			j.status.Epochs = epoch
 			j.status.TrainLoss = append(j.status.TrainLoss, trainLoss)
@@ -742,6 +793,7 @@ func (m *Manager) run(j *job) (committed bool, err error) {
 		},
 		Stop: func() bool { return j.ctx.Err() != nil },
 	})
+	fitSpan.End()
 	// The commit point: a cancel observed here (or earlier, mid-epoch)
 	// stops cleanly with nothing registered; past it, the job registers
 	// and completes as done even if a cancel races the finish.
