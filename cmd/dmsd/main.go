@@ -22,9 +22,17 @@
 // metadata, running on a bounded worker pool (-train-workers) with a
 // bounded queue (-train-queue; saturation sheds with 429).
 //
+// With -wal-dir the in-process store is opened WAL-durable
+// (docstore.OpenDurable): every write is logged before it is applied,
+// startup replays the log past the latest snapshot, a background loop
+// compacts the log into the snapshot, and the wal counters surface on
+// /statsz and /metricsz. -fsync picks the durability/latency trade
+// (always, interval, off).
+//
 // Usage:
 //
 //	dmsd [-addr host:port] [-store addr] [-collection name] [-zoo path]
+//	     [-wal-dir path] [-fsync always|interval|off] [-compact-interval 1m]
 //	     [-k 8] [-embed-dim 8] [-embed-hidden 64] [-embed-scale 1]
 //	     [-seed 1] [-max-inflight 64] [-cache 128] [-max-batch 8192]
 //	     [-vecindex flat|ivf|off] [-nprobe 4]
@@ -52,6 +60,7 @@ import (
 	"fairdms/internal/fairms"
 	"fairdms/internal/tensor"
 	"fairdms/internal/vecindex"
+	"fairdms/internal/wal"
 )
 
 // lazyEmbedder defers constructing the embedding model until the first
@@ -86,10 +95,33 @@ func (l *lazyEmbedder) Embed(x *tensor.Tensor) *tensor.Tensor {
 	return e.Embed(x)
 }
 
+// walStatsWire converts the store's durability counters to their wire form.
+func walStatsWire(ws docstore.WalStats) dmsapi.WalStats {
+	return dmsapi.WalStats{
+		Enabled:          ws.Enabled,
+		Policy:           ws.Policy,
+		Appends:          ws.Appends,
+		AppendedBytes:    ws.AppendedBytes,
+		Syncs:            ws.Syncs,
+		Replays:          ws.Replays,
+		ReplayedRecords:  ws.ReplayedRecords,
+		ReplayedTxns:     ws.ReplayedTxns,
+		ReplaySkippedOps: ws.ReplaySkippedOps,
+		TornTruncations:  ws.TornTruncations,
+		CorruptRecords:   ws.CorruptRecords,
+		Rotations:        ws.Rotations,
+		Compactions:      ws.Compactions,
+		SegmentsRemoved:  ws.SegmentsRemoved,
+	}
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7718", "listen address")
 	storeAddr := flag.String("store", "", "external dstore address (empty = in-process store)")
 	collection := flag.String("collection", "fairds", "docstore collection for labeled samples")
+	walDir := flag.String("wal-dir", "", "directory for WAL-durable in-process store (empty = memory only; incompatible with -store)")
+	fsyncPolicy := flag.String("fsync", "interval", "WAL fsync policy: always (fsync per commit), interval (background fsync), off")
+	compactInterval := flag.Duration("compact-interval", time.Minute, "background WAL-into-snapshot compaction period (0 = only at exit)")
 	zooPath := flag.String("zoo", "", "zoo snapshot to load at start and save at exit")
 	k := flag.Int("k", 8, "cluster count for the bootstrap fit on the first ingest")
 	embedDim := flag.Int("embed-dim", 8, "embedding dimensionality")
@@ -111,7 +143,12 @@ func main() {
 
 	var backend fairds.DataStore
 	var storeClient *docstore.Client
-	if *storeAddr != "" {
+	var durable *docstore.DurableStore
+	switch {
+	case *storeAddr != "":
+		if *walDir != "" {
+			log.Fatalf("dmsd: -wal-dir applies to the in-process store; the external store at %s owns its own durability", *storeAddr)
+		}
 		client, err := docstore.Dial(*storeAddr, 8)
 		if err != nil {
 			log.Fatalf("dmsd: dialing store: %v", err)
@@ -120,7 +157,20 @@ func main() {
 		storeClient = client
 		backend = fairds.RemoteCollection{Client: client, Name: *collection}
 		log.Printf("dmsd: using external store at %s (collection %q)", *storeAddr, *collection)
-	} else {
+	case *walDir != "":
+		policy, err := wal.ParsePolicy(*fsyncPolicy)
+		if err != nil {
+			log.Fatalf("dmsd: %v", err)
+		}
+		durable, err = docstore.OpenDurable(docstore.DurableOptions{Dir: *walDir, Policy: policy})
+		if err != nil {
+			log.Fatalf("dmsd: opening durable store: %v", err)
+		}
+		ws := durable.WalStats()
+		log.Printf("dmsd: durable store in %s (fsync %s): replayed %d txns (%d torn, %d corrupt tails truncated)",
+			*walDir, ws.Policy, ws.ReplayedTxns, ws.TornTruncations, ws.CorruptRecords)
+		backend = durable.Collection(*collection)
+	default:
 		backend = docstore.NewStore().Collection(*collection)
 	}
 
@@ -177,7 +227,7 @@ func main() {
 	if *verbose {
 		logger = log.Default()
 	}
-	srv, err := dmsapi.NewServer(dmsapi.ServerConfig{
+	cfg := dmsapi.ServerConfig{
 		DS: ds, Zoo: zoo,
 		MaxInFlight:   *maxInflight,
 		CacheSize:     *cacheSize,
@@ -189,7 +239,11 @@ func main() {
 		SlowLogSize:   *slowLog,
 		EnablePprof:   *enablePprof,
 		Logger:        logger,
-	})
+	}
+	if durable != nil {
+		cfg.WalStats = func() dmsapi.WalStats { return walStatsWire(durable.WalStats()) }
+	}
+	srv, err := dmsapi.NewServer(cfg)
 	if err != nil {
 		log.Fatalf("dmsd: %v", err)
 	}
@@ -215,6 +269,27 @@ func main() {
 	}
 	log.Printf("dmsd: serving on http://%s (max in-flight %d, cache %d)", bound, *maxInflight, *cacheSize)
 
+	stopCompact := make(chan struct{})
+	var compactWG sync.WaitGroup
+	if durable != nil && *compactInterval > 0 {
+		compactWG.Add(1)
+		go func() {
+			defer compactWG.Done()
+			t := time.NewTicker(*compactInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := durable.Compact(); err != nil {
+						log.Printf("dmsd: wal compaction: %v", err)
+					}
+				case <-stopCompact:
+					return
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
@@ -223,6 +298,19 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("dmsd: shutdown: %v", err)
+	}
+	if durable != nil {
+		close(stopCompact)
+		compactWG.Wait()
+		// Compact at exit so the next startup loads one snapshot instead of
+		// replaying the session's whole log; Close still fsyncs whatever the
+		// compaction could not fold in.
+		if err := durable.Compact(); err != nil {
+			log.Printf("dmsd: final wal compaction: %v", err)
+		}
+		if err := durable.Close(); err != nil {
+			log.Printf("dmsd: closing durable store: %v", err)
+		}
 	}
 	if *zooPath != "" {
 		if err := zoo.Save(*zooPath); err != nil {

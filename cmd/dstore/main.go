@@ -1,13 +1,23 @@
 // Command dstore serves a fairDMS document store over TCP — the deployment
-// unit that plays MongoDB's role in the paper's architecture. It optionally
-// loads a snapshot at startup, saves one on shutdown (SIGINT/SIGTERM), and
-// with -snapshot-interval also snapshots periodically in the background so
-// a crash loses at most one interval of writes instead of everything since
-// startup.
+// unit that plays MongoDB's role in the paper's architecture. Two
+// persistence modes:
+//
+//   - -snapshot: load a snapshot at startup, save one on shutdown
+//     (SIGINT/SIGTERM), and with -snapshot-interval also snapshot
+//     periodically, so a crash loses at most one interval of writes.
+//   - -wal-dir: WAL-durable mode (docstore.OpenDurable). Every write is
+//     logged before it is applied, startup replays the log past the latest
+//     snapshot, and periodic background compaction folds the log into the
+//     snapshot — so a crash loses at most the fsync window (-fsync) instead
+//     of a snapshot interval, and there is no stop-the-world save.
+//
+// The two modes are mutually exclusive: WAL mode owns its snapshot inside
+// -wal-dir.
 //
 // Usage:
 //
 //	dstore [-addr host:port] [-snapshot path] [-snapshot-interval 30s]
+//	       [-wal-dir path] [-fsync always|interval|off] [-compact-interval 1m]
 //	       [-latency 150us] [-v]
 package main
 
@@ -22,18 +32,43 @@ import (
 	"time"
 
 	"fairdms/internal/docstore"
+	"fairdms/internal/wal"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7717", "listen address")
 	snapshot := flag.String("snapshot", "", "snapshot file to load at start and save at exit")
 	interval := flag.Duration("snapshot-interval", 0, "also snapshot periodically (0 = only at exit; needs -snapshot)")
+	walDir := flag.String("wal-dir", "", "WAL-durable mode: directory for log segments and snapshot (incompatible with -snapshot)")
+	fsyncPolicy := flag.String("fsync", "interval", "WAL fsync policy: always (fsync per commit), interval (background fsync), off")
+	compactInterval := flag.Duration("compact-interval", time.Minute, "background WAL-into-snapshot compaction period (0 = only at exit)")
 	latency := flag.Duration("latency", 0, "artificial per-request latency (emulates a remote link)")
 	verbose := flag.Bool("v", false, "log request errors")
 	flag.Parse()
 
+	if *walDir != "" && *snapshot != "" {
+		log.Fatal("dstore: -wal-dir and -snapshot are mutually exclusive (WAL mode keeps its snapshot inside -wal-dir)")
+	}
+	if *interval > 0 && *snapshot == "" {
+		log.Fatal("dstore: -snapshot-interval needs -snapshot")
+	}
+
 	store := docstore.NewStore()
-	if *snapshot != "" {
+	var durable *docstore.DurableStore
+	if *walDir != "" {
+		policy, err := wal.ParsePolicy(*fsyncPolicy)
+		if err != nil {
+			log.Fatalf("dstore: %v", err)
+		}
+		durable, err = docstore.OpenDurable(docstore.DurableOptions{Dir: *walDir, Policy: policy})
+		if err != nil {
+			log.Fatalf("dstore: opening durable store: %v", err)
+		}
+		store = durable.Store
+		ws := durable.WalStats()
+		log.Printf("dstore: durable store in %s (fsync %s): replayed %d txns (%d torn, %d corrupt tails truncated)",
+			*walDir, ws.Policy, ws.ReplayedTxns, ws.TornTruncations, ws.CorruptRecords)
+	} else if *snapshot != "" {
 		// Only a missing file means "fresh start": any other stat failure
 		// must abort, or the exit-time save would replace a real snapshot
 		// we merely failed to see.
@@ -51,9 +86,6 @@ func main() {
 			log.Fatalf("dstore: checking snapshot: %v", err)
 		}
 	}
-	if *interval > 0 && *snapshot == "" {
-		log.Fatal("dstore: -snapshot-interval needs -snapshot")
-	}
 
 	var logger *log.Logger
 	if *verbose {
@@ -66,14 +98,36 @@ func main() {
 	}
 	log.Printf("dstore: serving on %s (latency %v)", bound, *latency)
 
-	// Background snapshotter: Store.Save writes tmp+rename atomically, so a
-	// crash mid-snapshot leaves the previous one intact. stopped is closed
-	// by the snapshot goroutine on exit so the final save below never runs
-	// concurrently with a periodic one (two Saves would race on the .tmp
-	// path).
+	// Background persistence loop. In snapshot mode this is the periodic
+	// Store.Save (tmp+rename atomic; Save also serializes internally, so
+	// even a racing shutdown save cannot corrupt the file — the stop/stopped
+	// handshake below just guarantees the final save runs last and wins).
+	// In WAL mode it is the compaction loop, which replaces stop-the-world
+	// interval saves: writers keep committing while the snapshot is cut.
 	stop := make(chan struct{})
 	stopped := make(chan struct{})
-	if *interval > 0 {
+	switch {
+	case durable != nil && *compactInterval > 0:
+		go func() {
+			defer close(stopped)
+			ticker := time.NewTicker(*compactInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					start := time.Now()
+					if err := durable.Compact(); err != nil {
+						log.Printf("dstore: wal compaction: %v", err)
+						continue
+					}
+					log.Printf("dstore: wal compacted into snapshot in %v",
+						time.Since(start).Round(time.Millisecond))
+				case <-stop:
+					return
+				}
+			}
+		}()
+	case durable == nil && *interval > 0:
 		go func() {
 			defer close(stopped)
 			ticker := time.NewTicker(*interval)
@@ -93,7 +147,7 @@ func main() {
 				}
 			}
 		}()
-	} else {
+	default:
 		close(stopped)
 	}
 
@@ -106,7 +160,19 @@ func main() {
 	if err := srv.Close(); err != nil {
 		log.Printf("dstore: close: %v", err)
 	}
-	if *snapshot != "" {
+	switch {
+	case durable != nil:
+		// Compact so the next startup loads one snapshot instead of replaying
+		// the whole session's log; Close still fsyncs anything left over.
+		start := time.Now()
+		if err := durable.Compact(); err != nil {
+			log.Printf("dstore: final wal compaction: %v", err)
+		}
+		if err := durable.Close(); err != nil {
+			log.Fatalf("dstore: closing durable store: %v", err)
+		}
+		log.Printf("dstore: wal compacted and closed in %v", time.Since(start).Round(time.Millisecond))
+	case *snapshot != "":
 		start := time.Now()
 		if err := store.Save(*snapshot); err != nil {
 			log.Fatalf("dstore: saving snapshot: %v", err)

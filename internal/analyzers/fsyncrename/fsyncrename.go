@@ -12,9 +12,12 @@
 //   - os.OpenFile for writing is flagged unless the function also calls
 //     Sync (append-style logs need durability too, but not rename).
 //
-// Read-only opens (os.Open, os.OpenFile with O_RDONLY) are exempt. The
-// one legitimate home for the raw pattern is internal/fsx; anything else
-// needs a `//lint:ignore fsyncrename <reason>` with a justification.
+// Read-only opens (os.Open, os.OpenFile with O_RDONLY) are exempt, and a
+// call to (*wal.Log).Append counts as a durable-write sink (the WAL owns
+// the fsync discipline per its policy), as does File.Sync on the fsx.File
+// interface. The legitimate homes for the raw pattern are internal/fsx
+// and internal/wal; anything else needs a
+// `//lint:ignore fsyncrename <reason>` with a justification.
 package fsyncrename
 
 import (
@@ -79,7 +82,11 @@ func checkFunc(pass *anzkit.Pass, fd *ast.FuncDecl) {
 			}
 		case fn.Pkg().Path() == "os" && fn.Name() == "Rename":
 			hasRename = true
-		case fn.Name() == "Sync" && isOSFileMethod(fn):
+		case fn.Name() == "Sync" && (isOSFileMethod(fn) || isRepoFSMethod(fn, "internal/fsx")):
+			hasSync = true
+		case fn.Name() == "Append" && isRepoFSMethod(fn, "internal/wal"):
+			// The WAL owns the fsync discipline (per its policy), so handing
+			// bytes to it is this function's durable-write sink.
 			hasSync = true
 		}
 		return true
@@ -103,6 +110,14 @@ func missing(hasSync, hasRename bool) string {
 		parts = append(parts, "Rename")
 	}
 	return strings.Join(parts, " and ")
+}
+
+// isRepoFSMethod reports whether fn belongs to one of the repo's
+// durability packages, matched by import-path suffix (e.g. "internal/fsx"
+// catches both fairdms/internal/fsx and a vendored rename). Interface
+// methods (fsx.File.Sync) carry their defining package, so they match too.
+func isRepoFSMethod(fn *types.Func, suffix string) bool {
+	return fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), suffix)
 }
 
 // isOSFileMethod reports whether fn is a method on *os.File.

@@ -1,10 +1,13 @@
 // Fixture: the full tmp+fsync+rename shape, a durable append (OpenFile +
-// Sync), and read-only opens — none are findings.
+// Sync), a WAL-backed write (wal.Append is the durable sink), and
+// read-only opens — none are findings.
 package clean
 
 import (
 	"io"
 	"os"
+
+	"internal/wal"
 )
 
 func saveAtomic(path string, data []byte) error {
@@ -37,6 +40,21 @@ func appendDurable(path string, line []byte) error {
 		return err
 	}
 	return f.Sync()
+}
+
+func spillWithWAL(l *wal.Log, path string, line []byte) error {
+	// The scratch copy need not be synced: handing the bytes to the WAL is
+	// the durable write, and the log owns the fsync discipline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(line); err != nil {
+		return err
+	}
+	_, err = l.Append(line)
+	return err
 }
 
 func readBack(path string) ([]byte, error) {

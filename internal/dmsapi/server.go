@@ -84,6 +84,11 @@ type ServerConfig struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (opt-in: the
 	// profiling surface should not be reachable on every deployment).
 	EnablePprof bool
+	// WalStats, when non-nil, surfaces the durability counters of a
+	// WAL-backed document store on /statsz (the "wal" key) and /metricsz
+	// (the dms_wal_* families). The daemon installs it when it runs the
+	// store in WAL-durable mode; nil omits the surface entirely.
+	WalStats func() WalStats
 	// Logger receives request-failure logs; nil silences them.
 	Logger *log.Logger
 }
@@ -369,6 +374,28 @@ func (s *Server) registerMetrics() {
 			})
 	}
 
+	if s.cfg.WalStats != nil {
+		walStat := func(pick func(WalStats) int64) func() int64 {
+			return func() int64 { return pick(s.cfg.WalStats()) }
+		}
+		r.CounterFunc("dms_wal_appends_total", "WAL records appended",
+			walStat(func(w WalStats) int64 { return w.Appends }))
+		r.CounterFunc("dms_wal_bytes_total", "WAL bytes appended",
+			walStat(func(w WalStats) int64 { return w.AppendedBytes }))
+		r.CounterFunc("dms_wal_syncs_total", "WAL fsync calls",
+			walStat(func(w WalStats) int64 { return w.Syncs }))
+		r.CounterFunc("dms_wal_replays_total", "WAL segment replays at startup",
+			walStat(func(w WalStats) int64 { return w.Replays }))
+		r.CounterFunc("dms_wal_replayed_records_total", "WAL records replayed at startup",
+			walStat(func(w WalStats) int64 { return w.ReplayedRecords }))
+		r.CounterFunc("dms_wal_torn_truncations_total", "torn WAL tails truncated during replay",
+			walStat(func(w WalStats) int64 { return w.TornTruncations }))
+		r.CounterFunc("dms_wal_corrupt_records_total", "corrupt WAL records truncated during replay",
+			walStat(func(w WalStats) int64 { return w.CorruptRecords }))
+		r.CounterFunc("dms_wal_compactions_total", "WAL compactions folded into the snapshot",
+			walStat(func(w WalStats) int64 { return w.Compactions }))
+	}
+
 	s.epErrors = r.CounterVec("dms_endpoint_errors_total", "error responses by endpoint", "endpoint")
 	s.epLatency = r.HistogramVec("dms_endpoint_latency_seconds", "request latency by endpoint", "endpoint")
 }
@@ -543,6 +570,11 @@ func (s *Server) Stats() Stats {
 		snap := s.trainer.Stats()
 		ts = &snap
 	}
+	var ws *WalStats
+	if s.cfg.WalStats != nil {
+		snap := s.cfg.WalStats()
+		ws = &snap
+	}
 	bi := buildInfo()
 	// IndexStats is atomically counted inside the data service, so no dsMu
 	// here — /statsz answers even during a bootstrap fit.
@@ -567,6 +599,7 @@ func (s *Server) Stats() Stats {
 			Corrupt:     is.Corrupt,
 		},
 		Train:     ts,
+		Wal:       ws,
 		Endpoints: eps,
 	}
 }

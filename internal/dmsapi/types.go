@@ -323,8 +323,34 @@ type Stats struct {
 	Index     IndexStats `json:"index"`
 	// Train is present when the server embeds the training subsystem
 	// (ServerConfig.TrainWorkers > 0).
-	Train     *TrainStats              `json:"train,omitempty"`
+	Train *TrainStats `json:"train,omitempty"`
+	// Wal is present when the server fronts a WAL-durable document store
+	// (ServerConfig.WalStats hook installed).
+	Wal       *WalStats                `json:"wal,omitempty"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// WalStats reports the durability plane of a WAL-backed document store:
+// append/sync volume on the write path, replay/truncation counters from
+// the last recovery, and compaction progress (the wire form of
+// docstore.WalStats). TornTruncations and CorruptRecords count tails the
+// replayer cut off — nonzero after an unclean shutdown is expected,
+// growth during steady state is not.
+type WalStats struct {
+	Enabled          bool   `json:"enabled"`
+	Policy           string `json:"policy"` // fsync policy: always | interval | off
+	Appends          int64  `json:"appends"`
+	AppendedBytes    int64  `json:"appended_bytes"`
+	Syncs            int64  `json:"syncs"`
+	Replays          int64  `json:"replays"`
+	ReplayedRecords  int64  `json:"replayed_records"`
+	ReplayedTxns     int64  `json:"replayed_txns"`
+	ReplaySkippedOps int64  `json:"replay_skipped_ops"`
+	TornTruncations  int64  `json:"torn_truncations"`
+	CorruptRecords   int64  `json:"corrupt_records"`
+	Rotations        int64  `json:"rotations"`
+	Compactions      int64  `json:"compactions"`
+	SegmentsRemoved  int64  `json:"segments_removed"`
 }
 
 // IndexStats reports the data service's vector-index coverage and

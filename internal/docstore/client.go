@@ -208,6 +208,68 @@ func (c *Client) InsertMany(collection string, batch []Fields) ([]string, error)
 	return resp.IDs, nil
 }
 
+// ApplyTxn commits ops against the named collection as one
+// all-or-nothing transaction (one WAL commit record on a durable
+// server), returning each op's target document ID in order. Note the
+// client retries once on a broken pooled connection: if the connection
+// dies after the server applied the transaction but before the response
+// arrived, the retry can re-submit it — the guarantee over the wire is
+// atomicity, not exactly-once (a re-submitted Add with explicit IDs
+// fails as a duplicate; with generated IDs it can double-insert).
+func (c *Client) ApplyTxn(collection string, ops []TxnOp) ([]string, error) {
+	resp, err := c.roundTrip(&request{Op: opTxn, Collection: collection, Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// ClientTxn batches Add/Update/Delete operations for one all-or-nothing
+// commit over the wire — the client-side mirror of Collection.NewTxn.
+// Not safe for concurrent use.
+type ClientTxn struct {
+	c          *Client
+	collection string
+	ops        []TxnOp
+}
+
+// NewTxn starts an empty transaction against the named collection.
+func (c *Client) NewTxn(collection string) *ClientTxn {
+	return &ClientTxn{c: c, collection: collection}
+}
+
+// Add queues an insert. An empty id gets a server-assigned one.
+func (t *ClientTxn) Add(id string, f Fields) *ClientTxn {
+	t.ops = append(t.ops, TxnOp{Kind: TxnAdd, ID: id, F: f})
+	return t
+}
+
+// Update queues a field merge into an existing document.
+func (t *ClientTxn) Update(id string, f Fields) *ClientTxn {
+	t.ops = append(t.ops, TxnOp{Kind: TxnUpdate, ID: id, F: f})
+	return t
+}
+
+// Delete queues a document removal.
+func (t *ClientTxn) Delete(id string) *ClientTxn {
+	t.ops = append(t.ops, TxnOp{Kind: TxnDelete, ID: id})
+	return t
+}
+
+// Len reports the number of queued operations.
+func (t *ClientTxn) Len() int { return len(t.ops) }
+
+// Commit submits the batch. On success the queue is cleared; on error it
+// is kept, and nothing was applied server-side.
+func (t *ClientTxn) Commit() ([]string, error) {
+	ids, err := t.c.ApplyTxn(t.collection, t.ops)
+	if err != nil {
+		return nil, err
+	}
+	t.ops = nil
+	return ids, nil
+}
+
 // Get fetches one document by ID.
 func (c *Client) Get(collection, id string) (*Doc, error) {
 	resp, err := c.roundTrip(&request{Op: opGet, Collection: collection, ID: id})

@@ -29,6 +29,12 @@ type Collection struct {
 	idxMu      sync.Mutex
 	hashFields map[string]struct{} // guarded by idxMu
 	ordFields  map[string]struct{} // guarded by idxMu
+
+	// logger, when set, makes every write durable: single-document ops
+	// route through ApplyTxn and each commit becomes one WAL record.
+	// Installed once by DurableStore before the store is shared; nil on
+	// plain in-memory stores.
+	logger commitLogger
 }
 
 // shard is one lock stripe: a slice of the document space plus its
@@ -95,15 +101,21 @@ func newCollectionShards(name string, n int) *Collection {
 	return c
 }
 
-// shardFor maps a document ID to its stripe by inlined FNV-1a, keeping
-// the per-operation hash allocation-free.
-func (c *Collection) shardFor(id string) *shard {
+// shardIndexFor maps a document ID to its stripe index by inlined
+// FNV-1a, keeping the per-operation hash allocation-free. Multi-shard
+// paths use the index to acquire locks in ascending stripe order.
+func (c *Collection) shardIndexFor(id string) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(id); i++ {
 		h ^= uint32(id[i])
 		h *= 16777619
 	}
-	return c.shards[h&c.mask]
+	return int(h & c.mask)
+}
+
+// shardFor maps a document ID to its stripe.
+func (c *Collection) shardFor(id string) *shard {
+	return c.shards[c.shardIndexFor(id)]
 }
 
 // NumShards reports the stripe count.
@@ -174,7 +186,7 @@ func (c *Collection) CreateHashIndex(field string) error {
 		}
 	}
 	c.hashFields[field] = struct{}{}
-	return nil
+	return c.logMeta(txnCreateHashIndex, field)
 }
 
 type indexKind uint8
@@ -232,6 +244,24 @@ func (c *Collection) CreateOrderedIndex(field string) error {
 		}
 	}
 	c.ordFields[field] = struct{}{}
+	return c.logMeta(txnCreateOrderedIndex, field)
+}
+
+// logMeta writes an index-create metadata record to the WAL so the index
+// survives a crash before the next compaction folds it into the
+// snapshot. The in-memory index already exists when this runs; an error
+// therefore means "built but possibly not durable", which callers
+// surface rather than roll back.
+func (c *Collection) logMeta(kind TxnKind, field string) error {
+	if c.logger == nil {
+		return nil
+	}
+	rec := walCommit{Collection: c.name, NextID: c.nextID.Load(), Ops: []TxnOp{{Kind: kind, ID: field}}}
+	release, err := c.logger.logTxn(&rec)
+	if err != nil {
+		return fmt.Errorf("docstore: logging index creation on %s.%s: %w", c.name, field, err)
+	}
+	release()
 	return nil
 }
 
@@ -259,6 +289,13 @@ func (c *Collection) genID() string {
 // It returns the document's ID, or an error if the ID already exists or a
 // field type is unsupported.
 func (c *Collection) Insert(id string, f Fields) (string, error) {
+	if c.logger != nil {
+		ids, err := c.ApplyTxn([]TxnOp{{Kind: TxnAdd, ID: id, F: f}})
+		if err != nil {
+			return "", err
+		}
+		return ids[0], nil
+	}
 	nf, err := normalizeFields(f)
 	if err != nil {
 		return "", err
@@ -292,6 +329,20 @@ func (c *Collection) Insert(id string, f Fields) (string, error) {
 // rolled back, since shard locks are released before the cross-shard
 // error check.
 func (c *Collection) InsertMany(fs []Fields) ([]string, error) {
+	if c.logger != nil {
+		// Durable path: the batch is one transaction and one WAL commit
+		// record, which also upgrades it to snapshot isolation (readers
+		// never observe part of the batch).
+		ops := make([]TxnOp, len(fs))
+		for i, f := range fs {
+			ops[i] = TxnOp{Kind: TxnAdd, F: f}
+		}
+		ids, err := c.ApplyTxn(ops)
+		if err != nil {
+			return nil, err
+		}
+		return ids, nil
+	}
 	norm := make([]Fields, len(fs))
 	for i, f := range fs {
 		nf, err := normalizeFields(f)
@@ -426,8 +477,14 @@ func (c *Collection) eachShardGroup(ids []string, fn func(s *shard, positions []
 }
 
 // Update merges fields into an existing document (set semantics), updating
-// any affected indexes.
+// any affected indexes. The merged document replaces the old one
+// copy-on-write, so snapshots handed out by NewReadTxn keep observing
+// the pre-update value.
 func (c *Collection) Update(id string, f Fields) error {
+	if c.logger != nil {
+		_, err := c.ApplyTxn([]TxnOp{{Kind: TxnUpdate, ID: id, F: f}})
+		return err
+	}
 	nf, err := normalizeFields(f)
 	if err != nil {
 		return err
@@ -439,15 +496,31 @@ func (c *Collection) Update(id string, f Fields) error {
 	if !ok {
 		return fmt.Errorf("docstore: id %q not found in collection %q", id, c.name)
 	}
-	s.unindexDocLocked(d)
+	merged := &Doc{ID: id, F: cloneFields(d.F)}
 	for k, v := range nf {
-		d.F[k] = v
+		merged.F[k] = v
 	}
-	return s.indexDocLocked(c.name, d)
+	s.unindexDocLocked(d)
+	s.docs[id] = merged
+	if err := s.indexDocLocked(c.name, merged); err != nil {
+		// Roll the replacement back so a rejected update leaves the old
+		// document fully indexed and intact.
+		s.unindexDocLocked(merged)
+		s.docs[id] = d
+		if rerr := s.indexDocLocked(c.name, d); rerr != nil {
+			return fmt.Errorf("docstore: update rollback reindex: %w", rerr)
+		}
+		return err
+	}
+	return nil
 }
 
 // Delete removes a document.
 func (c *Collection) Delete(id string) error {
+	if c.logger != nil {
+		_, err := c.ApplyTxn([]TxnOp{{Kind: TxnDelete, ID: id}})
+		return err
+	}
 	s := c.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()

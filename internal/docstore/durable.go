@@ -1,0 +1,343 @@
+package docstore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fairdms/internal/fsx"
+	"fairdms/internal/wal"
+)
+
+// snapshotFile is the checkpoint filename inside a durable store's
+// directory; WAL segments live beside it.
+const snapshotFile = "snapshot.gz"
+
+// DurableOptions configures OpenDurable.
+type DurableOptions struct {
+	// Dir holds the WAL segments and the compaction snapshot.
+	Dir string
+	// Policy is the WAL fsync policy (default wal.SyncAlways).
+	Policy wal.Policy
+	// Interval is the background fsync period under wal.SyncInterval.
+	Interval time.Duration
+	// WalShards is the number of WAL segment files (default 4).
+	WalShards int
+	// FS substitutes a filesystem; tests inject faults through it.
+	FS fsx.FS
+}
+
+// DurableStore is a Store whose every committed write survives a crash
+// (to the extent the fsync policy promises): commits append one WAL
+// record before they apply, startup replays the log over the latest
+// snapshot, and Compact folds the log into a fresh snapshot so replay
+// stays cheap. All Store and Collection APIs work unchanged; writes on
+// any collection of this store are logged automatically.
+type DurableStore struct {
+	*Store
+	dir      string
+	fs       fsx.FS
+	log      *wal.Log
+	snapPath string
+
+	// ckptMu fences commits against the compaction cut: every commit
+	// holds the read side from WAL append through in-memory apply, and
+	// Compact briefly takes the write side to rotate the log and read
+	// the cut LSN. That makes the cut a consistent point — every record
+	// at or below it is fully applied before the snapshot scan starts,
+	// and every later commit lands in segments the checkpoint keeps.
+	ckptMu sync.RWMutex
+
+	// compactMu serializes whole compactions (a periodic compactor
+	// racing a shutdown compaction must queue, not interleave).
+	compactMu sync.Mutex
+
+	compactions   atomic.Int64
+	replayedTxns  atomic.Int64
+	replaySkipped atomic.Int64
+}
+
+// WalStats is a point-in-time copy of a durable store's WAL counters,
+// surfaced on /statsz and /metricsz by the daemons.
+type WalStats struct {
+	Enabled          bool
+	Policy           string
+	Appends          int64
+	AppendedBytes    int64
+	Syncs            int64
+	Replays          int64
+	ReplayedRecords  int64
+	ReplayedTxns     int64
+	ReplaySkippedOps int64
+	TornTruncations  int64
+	CorruptRecords   int64
+	Rotations        int64
+	Compactions      int64
+	SegmentsRemoved  int64
+}
+
+// OpenDurable opens (or creates) a WAL-durable store in dir: it loads
+// the latest snapshot if one exists, replays every WAL record past the
+// snapshot's watermark — truncating torn or corrupt tails rather than
+// failing — and returns the store ready for reads and durable writes.
+func OpenDurable(opts DurableOptions) (*DurableStore, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("docstore: durable store needs a directory")
+	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = fsx.OS{}
+	}
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("docstore: durable dir %s: %w", opts.Dir, err)
+	}
+	snapPath := filepath.Join(opts.Dir, snapshotFile)
+
+	store := NewStore()
+	var walSeq uint64
+	switch _, err := fsys.Stat(snapPath); {
+	case err == nil:
+		store, walSeq, err = loadSnapshotFS(fsys, snapPath)
+		if err != nil {
+			return nil, err
+		}
+	case errors.Is(err, iofs.ErrNotExist):
+		// Fresh store: everything comes from the WAL (if any).
+	default:
+		return nil, fmt.Errorf("docstore: durable snapshot stat: %w", err)
+	}
+
+	lg, records, err := wal.Open(opts.Dir, wal.Options{
+		Shards:   opts.WalShards,
+		Policy:   opts.Policy,
+		Interval: opts.Interval,
+		FS:       fsys,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("docstore: %w", err)
+	}
+
+	ds := &DurableStore{Store: store, dir: opts.Dir, fs: fsys, log: lg, snapPath: snapPath}
+	for _, rec := range records {
+		if rec.LSN <= walSeq {
+			// Already folded into the snapshot by a compaction whose
+			// segment GC did not finish before a crash.
+			continue
+		}
+		var commit walCommit
+		if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(&commit); err != nil {
+			// The frame checksum passed, so this is a version skew or
+			// encoder bug, not disk corruption; skip rather than refuse
+			// to start, and surface it in the counters.
+			ds.replaySkipped.Add(1)
+			continue
+		}
+		ds.replayCommit(commit)
+	}
+	// LSNs must never repeat across a compaction that emptied the log.
+	lg.EnsureLSN(walSeq)
+
+	store.attachLogger(ds, ds.logDrop)
+	return ds, nil
+}
+
+// replayCommit re-applies one decoded WAL record leniently: replay after
+// a fuzzy checkpoint may meet records whose effects the snapshot already
+// holds, so inserts overwrite, updates and deletes of missing documents
+// are skipped (and counted), and index creation is idempotent.
+func (ds *DurableStore) replayCommit(commit walCommit) {
+	if len(commit.Ops) == 1 && commit.Ops[0].Kind == txnDropCollection {
+		ds.Store.Drop(commit.Collection)
+		ds.replayedTxns.Add(1)
+		return
+	}
+	c := ds.Store.Collection(commit.Collection)
+	for _, op := range commit.Ops {
+		switch op.Kind {
+		case TxnAdd, TxnUpdate, TxnDelete:
+			if !c.replayOp(op) {
+				ds.replaySkipped.Add(1)
+			}
+		case txnCreateHashIndex:
+			if err := c.CreateHashIndex(op.ID); err != nil {
+				ds.replaySkipped.Add(1)
+			}
+		case txnCreateOrderedIndex:
+			if err := c.CreateOrderedIndex(op.ID); err != nil {
+				ds.replaySkipped.Add(1)
+			}
+		default:
+			ds.replaySkipped.Add(1)
+		}
+	}
+	c.ensureNextID(commit.NextID)
+	ds.replayedTxns.Add(1)
+}
+
+// logTxn implements commitLogger: it gob-encodes the commit, appends it
+// as one WAL record under the checkpoint fence, and hands the caller the
+// fence release to run after the in-memory apply.
+func (ds *DurableStore) logTxn(rec *walCommit) (func(), error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return nil, fmt.Errorf("docstore: encoding wal commit: %w", err)
+	}
+	ds.ckptMu.RLock()
+	if _, err := ds.log.Append(buf.Bytes()); err != nil {
+		ds.ckptMu.RUnlock()
+		return nil, err
+	}
+	return ds.ckptMu.RUnlock, nil
+}
+
+// logDrop records a collection drop. Store.Drop has no error surface, so
+// a failed append is swallowed: the drop applies in memory and merely
+// might resurrect on replay — the lenient, documented failure mode.
+func (ds *DurableStore) logDrop(name string) {
+	rec := walCommit{Collection: name, Ops: []TxnOp{{Kind: txnDropCollection}}}
+	if release, err := ds.logTxn(&rec); err == nil {
+		release()
+	}
+}
+
+// Compact folds everything the WAL holds into a fresh snapshot and
+// deletes the superseded segments, bounding both replay time and disk
+// growth. Writers keep committing during the snapshot scan; only the
+// rotation instant excludes them. Safe to call concurrently (calls
+// serialize) and at any time.
+func (ds *DurableStore) Compact() error {
+	ds.compactMu.Lock()
+	defer ds.compactMu.Unlock()
+
+	ds.ckptMu.Lock()
+	gen, err := ds.log.Rotate()
+	cut := ds.log.LastLSN()
+	ds.ckptMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("docstore: compact rotate: %w", err)
+	}
+
+	// The scan is fuzzy: commits with LSN > cut may or may not be
+	// captured. Either way is correct — they live in generation ≥ gen,
+	// which survives the GC below, and replay re-applies them leniently
+	// and idempotently over the snapshot.
+	if err := ds.Store.saveSnapshotFS(ds.fs, ds.snapPath, cut); err != nil {
+		return err
+	}
+	// Make the snapshot's rename durable before deleting the segments it
+	// supersedes; without the barrier the disk could persist the unlinks
+	// but not the rename, losing committed data.
+	if err := ds.fs.SyncDir(ds.dir); err != nil {
+		return fmt.Errorf("docstore: compact sync dir: %w", err)
+	}
+	if _, err := ds.log.RemoveSegmentsBefore(gen); err != nil {
+		return err
+	}
+	ds.compactions.Add(1)
+	return nil
+}
+
+// WalStats returns a copy of the durability counters.
+func (ds *DurableStore) WalStats() WalStats {
+	ls := ds.log.Stats()
+	return WalStats{
+		Enabled:          true,
+		Policy:           ds.log.Policy().String(),
+		Appends:          ls.Appends,
+		AppendedBytes:    ls.AppendedBytes,
+		Syncs:            ls.Syncs,
+		Replays:          ls.Replays,
+		ReplayedRecords:  ls.ReplayedRecords,
+		ReplayedTxns:     ds.replayedTxns.Load(),
+		ReplaySkippedOps: ds.replaySkipped.Load(),
+		TornTruncations:  ls.TornTruncations,
+		CorruptRecords:   ls.CorruptRecords,
+		Rotations:        ls.Rotations,
+		Compactions:      ds.compactions.Load(),
+		SegmentsRemoved:  ls.SegmentsRemoved,
+	}
+}
+
+// Close fsyncs outstanding WAL writes and closes the log. The store
+// remains readable; further writes fail. Daemons wanting a fast next
+// startup call Compact first.
+func (ds *DurableStore) Close() error {
+	return ds.log.Close()
+}
+
+// Abort drops the store without flushing — the simulated-crash path used
+// by recovery tests. Buffered, unsynced WAL bytes are abandoned exactly
+// as a dying process would abandon them.
+func (ds *DurableStore) Abort() {
+	ds.log.Abort()
+}
+
+// Dir returns the durable directory.
+func (ds *DurableStore) Dir() string { return ds.dir }
+
+// replayOp applies one document op leniently and reports whether it had
+// effect. Used only during replay (single-goroutine, store not yet
+// shared), but it still takes the shard locks it needs.
+func (c *Collection) replayOp(op TxnOp) bool {
+	s := c.shardFor(op.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch op.Kind {
+	case TxnAdd:
+		if old, ok := s.docs[op.ID]; ok {
+			s.unindexDocLocked(old)
+		}
+		d := &Doc{ID: op.ID, F: op.F}
+		s.docs[op.ID] = d
+		if err := s.indexDocLocked(c.name, d); err != nil {
+			s.unindexDocLocked(d)
+			delete(s.docs, op.ID)
+			return false
+		}
+		return true
+	case TxnUpdate:
+		old, ok := s.docs[op.ID]
+		if !ok {
+			return false
+		}
+		merged := &Doc{ID: op.ID, F: cloneFields(old.F)}
+		for k, v := range op.F {
+			merged.F[k] = v
+		}
+		s.unindexDocLocked(old)
+		s.docs[op.ID] = merged
+		if err := s.indexDocLocked(c.name, merged); err != nil {
+			s.unindexDocLocked(merged)
+			s.docs[op.ID] = old
+			s.indexDocLocked(c.name, old)
+			return false
+		}
+		return true
+	case TxnDelete:
+		d, ok := s.docs[op.ID]
+		if !ok {
+			return false
+		}
+		s.unindexDocLocked(d)
+		delete(s.docs, op.ID)
+		return true
+	}
+	return false
+}
+
+// ensureNextID raises the ID sequence to at least n so replayed commits
+// never cause a future generated ID to collide with a recovered one.
+func (c *Collection) ensureNextID(n uint64) {
+	for {
+		cur := c.nextID.Load()
+		if cur >= n || c.nextID.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package docstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"fairdms/internal/wal"
+)
+
+func openDurable(t *testing.T, dir string, opts DurableOptions) *DurableStore {
+	t.Helper()
+	opts.Dir = dir
+	ds, err := OpenDurable(opts)
+	if err != nil {
+		t.Fatalf("OpenDurable(%s): %v", dir, err)
+	}
+	return ds
+}
+
+func TestDurableRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	ds := openDurable(t, dir, DurableOptions{Policy: wal.SyncAlways})
+	c := ds.Collection("peaks")
+	if _, err := c.Insert("a", Fields{"n": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert("b", Fields{"n": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Update("a", Fields{"n": 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewTxn().Add("c", Fields{"n": 3}).Add("d", Fields{"n": 4}).Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ds2 := openDurable(t, dir, DurableOptions{Policy: wal.SyncAlways})
+	defer ds2.Close()
+	c2 := ds2.Collection("peaks")
+	if c2.Count() != 3 {
+		t.Fatalf("count after replay = %d; want 3", c2.Count())
+	}
+	for id, n := range map[string]int64{"a": 10, "c": 3, "d": 4} {
+		d, err := c2.Get(id)
+		if err != nil || d.F["n"] != n {
+			t.Fatalf("%s after replay = %v, %v; want n=%d", id, d, err, n)
+		}
+	}
+	if _, err := c2.Get("b"); err == nil {
+		t.Fatal("deleted doc resurrected by replay")
+	}
+	if st := ds2.WalStats(); st.ReplayedTxns != 5 {
+		t.Fatalf("ReplayedTxns = %d; want 5", st.ReplayedTxns)
+	}
+}
+
+func TestDurableReplayRebuildsIndexes(t *testing.T) {
+	dir := t.TempDir()
+	ds := openDurable(t, dir, DurableOptions{Policy: wal.SyncAlways})
+	c := ds.Collection("peaks")
+	if err := c.CreateHashIndex("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateOrderedIndex("t"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := c.Insert("", Fields{"k": i % 3, "t": float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds.Close()
+
+	ds2 := openDurable(t, dir, DurableOptions{Policy: wal.SyncAlways})
+	defer ds2.Close()
+	c2 := ds2.Collection("peaks")
+	// Index creation was WAL-logged, so the reopened collection answers
+	// indexed queries identically to a brute-force scan.
+	ids, err := c2.FindIDs(Query{Filters: []Filter{Eq("k", 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 7 {
+		t.Fatalf("Eq(k,1) after replay = %d ids; want 7", len(ids))
+	}
+	ids, err = c2.FindIDs(Query{Filters: []Filter{Lte("t", 9.0)}})
+	if err != nil || len(ids) != 10 {
+		t.Fatalf("Lte(t,9) after replay = %d ids, %v; want 10", len(ids), err)
+	}
+}
+
+func TestDurableReplayRespectsDrop(t *testing.T) {
+	dir := t.TempDir()
+	ds := openDurable(t, dir, DurableOptions{Policy: wal.SyncAlways})
+	ds.Collection("doomed").Insert("x", Fields{"n": 1})
+	ds.Collection("kept").Insert("y", Fields{"n": 2})
+	ds.Drop("doomed")
+	ds.Close()
+
+	ds2 := openDurable(t, dir, DurableOptions{Policy: wal.SyncAlways})
+	defer ds2.Close()
+	names := ds2.Names()
+	if len(names) != 1 || names[0] != "kept" {
+		t.Fatalf("collections after replay = %v; want [kept]", names)
+	}
+}
+
+func TestDurableNoIDReuseAfterReplay(t *testing.T) {
+	dir := t.TempDir()
+	ds := openDurable(t, dir, DurableOptions{Policy: wal.SyncAlways})
+	c := ds.Collection("peaks")
+	var ids []string
+	for i := 0; i < 5; i++ {
+		id, err := c.Insert("", Fields{"n": i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Delete them all: replay must still not hand the same IDs out again.
+	for _, id := range ids {
+		if err := c.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds.Close()
+
+	ds2 := openDurable(t, dir, DurableOptions{Policy: wal.SyncAlways})
+	defer ds2.Close()
+	seen := map[string]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	for i := 0; i < 5; i++ {
+		id, err := ds2.Collection("peaks").Insert("", Fields{"n": i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("generated id %s reused after replay", id)
+		}
+	}
+}
+
+func TestCompactFoldsWALIntoSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ds := openDurable(t, dir, DurableOptions{Policy: wal.SyncAlways})
+	c := ds.Collection("peaks")
+	for i := 0; i < 50; i++ {
+		if _, err := c.Insert(fmt.Sprintf("d%02d", i), Fields{"n": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := ds.WalStats()
+	if st.Compactions != 1 || st.SegmentsRemoved == 0 {
+		t.Fatalf("stats after compact = %+v; want 1 compaction with segments removed", st)
+	}
+	// Post-compaction writes land in the new generation.
+	if _, err := c.Insert("post", Fields{"n": 999}); err != nil {
+		t.Fatal(err)
+	}
+	ds.Close()
+
+	ds2 := openDurable(t, dir, DurableOptions{Policy: wal.SyncAlways})
+	defer ds2.Close()
+	c2 := ds2.Collection("peaks")
+	if c2.Count() != 51 {
+		t.Fatalf("count after compact+reopen = %d; want 51", c2.Count())
+	}
+	st2 := ds2.WalStats()
+	// Only the post-compaction txn should have replayed from the log;
+	// everything else came from the snapshot.
+	if st2.ReplayedTxns != 1 {
+		t.Fatalf("ReplayedTxns after compaction = %d; want 1", st2.ReplayedTxns)
+	}
+}
+
+func TestCompactConcurrentWithWriters(t *testing.T) {
+	dir := t.TempDir()
+	ds := openDurable(t, dir, DurableOptions{Policy: wal.SyncOff})
+	c := ds.Collection("peaks")
+	const writers, docs = 4, 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < docs; i++ {
+				if _, err := c.Insert(fmt.Sprintf("w%d-%03d", w, i), Fields{"n": i}); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5; i++ {
+			if err := ds.Compact(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	ds.Close()
+
+	ds2 := openDurable(t, dir, DurableOptions{Policy: wal.SyncOff})
+	defer ds2.Close()
+	if got := ds2.Collection("peaks").Count(); got != writers*docs {
+		t.Fatalf("count after concurrent compactions = %d; want %d", got, writers*docs)
+	}
+}
+
+// TestConcurrentSavesKeepSnapshotCoherent is the regression test for the
+// periodic-save vs shutdown-save race: concurrent Save calls on one store
+// must serialize, and the surviving file must decode to a complete store.
+func TestConcurrentSavesKeepSnapshotCoherent(t *testing.T) {
+	s := NewStore()
+	c := s.Collection("peaks")
+	for i := 0; i < 200; i++ {
+		if _, err := c.Insert("", Fields{"n": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "snap.gz")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Save(path); err != nil {
+				t.Errorf("concurrent Save: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatalf("snapshot corrupted by concurrent saves: %v", err)
+	}
+	if got := loaded.Collection("peaks").Count(); got != 200 {
+		t.Fatalf("loaded count = %d; want 200", got)
+	}
+}
+
+func TestDurableStoreRejectsEmptyDir(t *testing.T) {
+	if _, err := OpenDurable(DurableOptions{}); err == nil {
+		t.Fatal("OpenDurable with no dir should fail")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"fairdms/internal/wal"
 )
 
 // TestQuickRandomOpsKeepIndexesConsistent drives a collection through a
@@ -105,6 +107,135 @@ func equalIDs(a, b []string) bool {
 		}
 	}
 	return true
+}
+
+// TestQuickWALReplayMatchesModel drives a WAL-durable store through a
+// random sequence of inserts, updates, deletes, and multi-op transactions
+// with simulated crashes (Abort: the process dies without flushing) and
+// reopens interleaved, and asserts after every reopen that the replayed
+// store is byte-for-byte the in-memory model. With fsync=always a
+// committed op can never be lost, so equality is exact.
+func TestQuickWALReplayMatchesModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		dir := t.TempDir()
+		ds, err := OpenDurable(DurableOptions{Dir: dir, Policy: wal.SyncAlways, WalShards: 2})
+		if err != nil {
+			t.Logf("open: %v", err)
+			return false
+		}
+		defer func() { ds.Close() }()
+		model := map[string]int64{} // id → n
+		var ids []string
+		rng := rand.New(rand.NewSource(7))
+
+		check := func() bool {
+			c := ds.Collection("a")
+			if c.Count() != len(model) {
+				t.Logf("count = %d; model has %d", c.Count(), len(model))
+				return false
+			}
+			for id, n := range model {
+				d, err := c.Get(id)
+				if err != nil || d.F["n"] != n {
+					t.Logf("doc %s = %v, %v; model wants n=%d", id, d, err, n)
+					return false
+				}
+			}
+			return true
+		}
+
+		for _, op := range ops {
+			c := ds.Collection("a")
+			switch op % 8 {
+			case 0, 1, 2: // insert
+				id := fmt.Sprintf("d%04d", len(ids))
+				n := int64(op >> 3)
+				if _, err := c.Insert(id, Fields{"n": n}); err != nil {
+					t.Logf("insert: %v", err)
+					return false
+				}
+				model[id] = n
+				ids = append(ids, id)
+			case 3: // update
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				n := int64(op >> 3)
+				err := c.Update(id, Fields{"n": n})
+				if _, live := model[id]; live != (err == nil) {
+					t.Logf("update %s: err=%v but model live=%v", id, err, live)
+					return false
+				}
+				if err == nil {
+					model[id] = n
+				}
+			case 4: // delete
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				err := c.Delete(id)
+				if _, live := model[id]; live != (err == nil) {
+					t.Logf("delete %s: err=%v but model live=%v", id, err, live)
+					return false
+				}
+				delete(model, id)
+			case 5: // multi-op txn: two inserts and maybe a delete
+				a := fmt.Sprintf("d%04d", len(ids))
+				b := fmt.Sprintf("d%04d", len(ids)+1)
+				n := int64(op >> 3)
+				txn := c.NewTxn().Add(a, Fields{"n": n}).Add(b, Fields{"n": n + 1})
+				victim := ""
+				if len(ids) > 0 {
+					id := ids[rng.Intn(len(ids))]
+					if _, live := model[id]; live {
+						txn.Delete(id)
+						victim = id
+					}
+				}
+				if _, err := txn.Commit(); err != nil {
+					t.Logf("txn: %v", err)
+					return false
+				}
+				model[a], model[b] = n, n+1
+				ids = append(ids, a, b)
+				if victim != "" {
+					delete(model, victim)
+				}
+			case 6: // crash (no flush) and reopen: replay must equal model
+				ds.Abort()
+				ds, err = OpenDurable(DurableOptions{Dir: dir, Policy: wal.SyncAlways, WalShards: 2})
+				if err != nil {
+					t.Logf("reopen after abort: %v", err)
+					return false
+				}
+				if !check() {
+					return false
+				}
+			case 7: // compact, sometimes followed by a crash-reopen
+				if err := ds.Compact(); err != nil {
+					t.Logf("compact: %v", err)
+					return false
+				}
+				if op>>3%2 == 0 {
+					ds.Abort()
+					ds, err = OpenDurable(DurableOptions{Dir: dir, Policy: wal.SyncAlways, WalShards: 2})
+					if err != nil {
+						t.Logf("reopen after compact: %v", err)
+						return false
+					}
+				}
+				if !check() {
+					return false
+				}
+			}
+		}
+		return check()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestQuickSampleIsSubsetOfMatches: sampling never fabricates documents.

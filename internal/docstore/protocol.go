@@ -30,6 +30,7 @@ const (
 	opCreateOrderedIndex
 	opNames
 	opDrop
+	opTxn
 )
 
 // opName maps wire ops to the lowercase_snake names used as metric label
@@ -66,6 +67,8 @@ func (op reqOp) opName() string {
 		return "names"
 	case opDrop:
 		return "drop"
+	case opTxn:
+		return "txn"
 	default:
 		return "unknown"
 	}
@@ -84,6 +87,7 @@ type request struct {
 	N          int
 	Seed       int64
 	Field      string
+	Ops        []TxnOp
 }
 
 // response is the server→client message. Err is empty on success. Seq

@@ -219,6 +219,12 @@ func (s *Server) handle(req *request) *response {
 			return fail(err)
 		}
 		resp.IDs = ids
+	case opTxn:
+		ids, err := c.ApplyTxn(req.Ops)
+		if err != nil {
+			return fail(err)
+		}
+		resp.IDs = ids
 	case opGet:
 		d, err := c.Get(req.ID)
 		if err != nil {

@@ -5,7 +5,6 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"os"
 	"sort"
 	"sync"
 
@@ -16,7 +15,15 @@ import (
 // construct with NewStore.
 type Store struct {
 	mu          sync.RWMutex
-	collections map[string]*Collection
+	collections map[string]*Collection // guarded by mu
+	onNew       func(*Collection)      // guarded by mu; durability hook for new collections
+	onDrop      func(name string)      // guarded by mu; durability hook for drops
+
+	// saveMu serializes snapshot writes: concurrent Save calls (e.g. a
+	// periodic snapshotter racing the shutdown save) queue up instead of
+	// interleaving, so the file at path always ends as the most recently
+	// captured state.
+	saveMu sync.Mutex
 }
 
 // NewStore returns an empty store.
@@ -38,6 +45,9 @@ func (s *Store) Collection(name string) *Collection {
 		return c
 	}
 	c = newCollection(name)
+	if s.onNew != nil {
+		s.onNew(c)
+	}
 	s.collections[name] = c
 	return c
 }
@@ -46,7 +56,24 @@ func (s *Store) Collection(name string) *Collection {
 func (s *Store) Drop(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, ok := s.collections[name]; ok && s.onDrop != nil {
+		s.onDrop(name)
+	}
 	delete(s.collections, name)
+}
+
+// attachLogger installs the durability hook on every current and future
+// collection and arranges for drops to be logged. Called once by
+// OpenDurable after snapshot load and WAL replay, before the store is
+// shared.
+func (s *Store) attachLogger(lg commitLogger, onDrop func(name string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onNew = func(c *Collection) { c.logger = lg }
+	s.onDrop = onDrop
+	for _, c := range s.collections {
+		c.logger = lg
+	}
 }
 
 // Names lists collection names in sorted order.
@@ -64,8 +91,13 @@ func (s *Store) Names() []string {
 // snapshot is the persisted form of a store. The on-disk layout is
 // shard-agnostic: each collection serializes as one ID-sorted document
 // list, so snapshots survive changes to the in-memory stripe count.
+// WALSeq is the durability watermark of a compaction checkpoint: every
+// WAL record with LSN ≤ WALSeq is folded into this snapshot, so replay
+// skips them. Plain Save writes 0 (replay everything); old snapshots
+// without the field decode as 0, which is the same thing.
 type snapshot struct {
 	Collections map[string]collectionSnapshot
+	WALSeq      uint64
 }
 
 type collectionSnapshot struct {
@@ -81,7 +113,13 @@ type collectionSnapshot struct {
 // synced, and atomically renamed into place: a crash mid-save can never
 // truncate or corrupt an existing snapshot at path.
 func (s *Store) Save(path string) error {
-	snap := snapshot{Collections: make(map[string]collectionSnapshot)}
+	return s.saveSnapshotFS(fsx.OS{}, path, 0)
+}
+
+func (s *Store) saveSnapshotFS(fsys fsx.FS, path string, walSeq uint64) error {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	snap := snapshot{Collections: make(map[string]collectionSnapshot), WALSeq: walSeq}
 	for _, name := range s.Names() {
 		c := s.Collection(name)
 		var cs collectionSnapshot
@@ -103,7 +141,7 @@ func (s *Store) Save(path string) error {
 		snap.Collections[name] = cs
 	}
 
-	err := fsx.WriteAtomic(path, func(w io.Writer) error {
+	err := fsx.WriteAtomicFS(fsys, path, func(w io.Writer) error {
 		zw := gzip.NewWriter(w)
 		if err := gob.NewEncoder(zw).Encode(snap); err != nil {
 			return err
@@ -120,43 +158,48 @@ func (s *Store) Save(path string) error {
 // Truncated or corrupt snapshots (e.g. from a partial copy) are rejected
 // with an error rather than yielding a silently incomplete store.
 func Load(path string) (*Store, error) {
-	f, err := os.Open(path)
+	s, _, err := loadSnapshotFS(fsx.OS{}, path)
+	return s, err
+}
+
+func loadSnapshotFS(fsys fsx.FS, path string) (*Store, uint64, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("docstore: load: %w", err)
+		return nil, 0, fmt.Errorf("docstore: load: %w", err)
 	}
 	defer f.Close()
 	zr, err := gzip.NewReader(f)
 	if err != nil {
-		return nil, fmt.Errorf("docstore: load gzip: %w", err)
+		return nil, 0, fmt.Errorf("docstore: load gzip: %w", err)
 	}
 	var snap snapshot
 	if err := gob.NewDecoder(zr).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("docstore: load decode: %w", err)
+		return nil, 0, fmt.Errorf("docstore: load decode: %w", err)
 	}
 	// A well-formed gob stream can still sit in a truncated gzip member;
 	// draining to EOF forces the checksum verification.
 	if _, err := io.Copy(io.Discard, zr); err != nil {
-		return nil, fmt.Errorf("docstore: load verify: %w", err)
+		return nil, 0, fmt.Errorf("docstore: load verify: %w", err)
 	}
 	s := NewStore()
 	for name, cs := range snap.Collections {
 		c := s.Collection(name)
 		for _, field := range cs.HashIdx {
 			if err := c.CreateHashIndex(field); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 		for _, field := range cs.OrdIdx {
 			if err := c.CreateOrderedIndex(field); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 		for _, d := range cs.Docs {
 			if _, err := c.Insert(d.ID, d.F); err != nil {
-				return nil, fmt.Errorf("docstore: load doc %q: %w", d.ID, err)
+				return nil, 0, fmt.Errorf("docstore: load doc %q: %w", d.ID, err)
 			}
 		}
 		c.nextID.Store(cs.NextID)
 	}
-	return s, nil
+	return s, snap.WALSeq, nil
 }

@@ -1,0 +1,427 @@
+package docstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TxnKind discriminates the operations a transaction can carry.
+type TxnKind uint8
+
+const (
+	// TxnAdd inserts a new document (ID assigned when empty).
+	TxnAdd TxnKind = iota + 1
+	// TxnUpdate merges fields into an existing document.
+	TxnUpdate
+	// TxnDelete removes an existing document.
+	TxnDelete
+
+	// Metadata kinds below only ever appear inside WAL commit records
+	// (so index creation and collection drops replay after a crash);
+	// ApplyTxn rejects them, keeping the public transaction surface to
+	// the three document ops above.
+	txnCreateHashIndex
+	txnCreateOrderedIndex
+	txnDropCollection
+)
+
+// TxnOp is one operation of a transaction. For TxnAdd an empty ID asks
+// the collection to assign a sequential one; TxnUpdate and TxnDelete
+// require the ID. F is ignored for TxnDelete.
+type TxnOp struct {
+	Kind TxnKind
+	ID   string
+	F    Fields
+}
+
+// walCommit is the payload of one WAL record: a whole transaction
+// against one collection, with IDs assigned and fields normalized.
+// NextID is the collection's ID-sequence watermark after assignment, so
+// replay never re-issues an ID a committed transaction consumed.
+type walCommit struct {
+	Collection string
+	NextID     uint64
+	Ops        []TxnOp
+}
+
+// commitLogger is the durability hook a DurableStore installs on every
+// collection. logTxn must make rec durable (per the fsync policy) before
+// returning; the returned release func must be called after the ops are
+// applied to memory — it closes the window during which a checkpoint
+// must not cut the log.
+type commitLogger interface {
+	logTxn(rec *walCommit) (release func(), err error)
+}
+
+// Txn batches Add/Update/Delete operations for one all-or-nothing
+// commit. A Txn is not safe for concurrent use; build it on one
+// goroutine and Commit once. Nothing is visible — or written to the WAL
+// — until Commit.
+type Txn struct {
+	c   *Collection
+	ops []TxnOp
+}
+
+// NewTxn starts an empty transaction against the collection.
+func (c *Collection) NewTxn() *Txn { return &Txn{c: c} }
+
+// Add queues an insert. An empty id gets a sequential one at commit.
+func (t *Txn) Add(id string, f Fields) *Txn {
+	t.ops = append(t.ops, TxnOp{Kind: TxnAdd, ID: id, F: f})
+	return t
+}
+
+// Update queues a field merge into an existing document.
+func (t *Txn) Update(id string, f Fields) *Txn {
+	t.ops = append(t.ops, TxnOp{Kind: TxnUpdate, ID: id, F: f})
+	return t
+}
+
+// Delete queues a document removal.
+func (t *Txn) Delete(id string) *Txn {
+	t.ops = append(t.ops, TxnOp{Kind: TxnDelete, ID: id})
+	return t
+}
+
+// Len reports the number of queued operations.
+func (t *Txn) Len() int { return len(t.ops) }
+
+// Commit applies every queued operation atomically and returns the
+// document ID each operation targeted (assigned IDs included), aligned
+// with the queue order. On success the queue is cleared so the Txn can
+// be reused; on error nothing was applied and the queue is kept for
+// inspection or retry.
+func (t *Txn) Commit() ([]string, error) {
+	ids, err := t.c.ApplyTxn(t.ops)
+	if err != nil {
+		return nil, err
+	}
+	t.ops = nil
+	return ids, nil
+}
+
+// ApplyTxn commits ops as one all-or-nothing transaction: either every
+// operation applies and the whole batch is one durable WAL commit
+// record, or none apply and the error names the first offending
+// operation. Within the batch later operations see earlier ones (an Add
+// followed by an Update of the same ID is legal). All shards the batch
+// touches stay write-locked from validation through apply, so no reader
+// or ReadTxn ever observes a partial transaction. Returns the target
+// document ID of each op, aligned with ops.
+//
+// lint:holds c.shardFor(id).mu s.mu
+// (every touched shard is write-locked by lockShards before any docs
+// access; the analyzer cannot see through the helper.)
+func (c *Collection) ApplyTxn(ops []TxnOp) ([]string, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	// Stage: normalize fields, assign IDs, and reject unknown kinds
+	// before taking any lock.
+	staged := make([]TxnOp, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case TxnAdd:
+			nf, err := normalizeFields(op.F)
+			if err != nil {
+				return nil, fmt.Errorf("docstore: txn op %d: %w", i, err)
+			}
+			id := op.ID
+			if id == "" {
+				id = c.genID()
+			}
+			staged[i] = TxnOp{Kind: TxnAdd, ID: id, F: nf}
+		case TxnUpdate:
+			if op.ID == "" {
+				return nil, fmt.Errorf("docstore: txn op %d: update needs an id", i)
+			}
+			nf, err := normalizeFields(op.F)
+			if err != nil {
+				return nil, fmt.Errorf("docstore: txn op %d: %w", i, err)
+			}
+			staged[i] = TxnOp{Kind: TxnUpdate, ID: op.ID, F: nf}
+		case TxnDelete:
+			if op.ID == "" {
+				return nil, fmt.Errorf("docstore: txn op %d: delete needs an id", i)
+			}
+			staged[i] = TxnOp{Kind: TxnDelete, ID: op.ID}
+		default:
+			return nil, fmt.Errorf("docstore: txn op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+
+	// Write-lock every touched shard in ascending stripe order (the
+	// same order every multi-shard path uses, so lock cycles cannot
+	// form) and hold them through WAL append and apply.
+	unlock := c.lockShards(staged)
+	defer unlock()
+
+	// Validate against the locked shards with a transaction-local
+	// overlay, building each document's final state as we go. pending
+	// with a nil doc is a tombstone.
+	type pending struct{ d *Doc }
+	over := make(map[string]*pending, len(staged))
+	lookup := func(id string) (*Doc, bool) {
+		if p, ok := over[id]; ok {
+			return p.d, p.d != nil
+		}
+		d, ok := c.shardFor(id).docs[id]
+		return d, ok
+	}
+	for i, op := range staged {
+		switch op.Kind {
+		case TxnAdd:
+			if _, exists := lookup(op.ID); exists {
+				return nil, fmt.Errorf("docstore: txn op %d: duplicate id %q in collection %q", i, op.ID, c.name)
+			}
+			d := &Doc{ID: op.ID, F: op.F}
+			if err := c.shardFor(op.ID).checkIndexableLocked(c.name, d); err != nil {
+				return nil, fmt.Errorf("docstore: txn op %d: %w", i, err)
+			}
+			over[op.ID] = &pending{d: d}
+		case TxnUpdate:
+			cur, ok := lookup(op.ID)
+			if !ok {
+				return nil, fmt.Errorf("docstore: txn op %d: id %q not found in collection %q", i, op.ID, c.name)
+			}
+			f := cloneFields(cur.F)
+			for k, v := range op.F {
+				f[k] = v
+			}
+			d := &Doc{ID: op.ID, F: f}
+			if err := c.shardFor(op.ID).checkIndexableLocked(c.name, d); err != nil {
+				return nil, fmt.Errorf("docstore: txn op %d: %w", i, err)
+			}
+			over[op.ID] = &pending{d: d}
+		case TxnDelete:
+			if _, ok := lookup(op.ID); !ok {
+				return nil, fmt.Errorf("docstore: txn op %d: id %q not found in collection %q", i, op.ID, c.name)
+			}
+			over[op.ID] = &pending{}
+		}
+	}
+
+	// Durability point: one WAL commit record for the whole batch. The
+	// release callback ends the checkpoint-exclusion window after the
+	// in-memory apply below.
+	if c.logger != nil {
+		rec := walCommit{Collection: c.name, NextID: c.nextID.Load(), Ops: staged}
+		release, err := c.logger.logTxn(&rec)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
+
+	// Apply the final overlay states. Validation above checked exactly
+	// the conditions under which indexing can fail, and the shards have
+	// stayed locked since, so this cannot error.
+	for id, p := range over {
+		s := c.shardFor(id)
+		if old, ok := s.docs[id]; ok {
+			s.unindexDocLocked(old)
+			delete(s.docs, id)
+		}
+		if p.d != nil {
+			s.docs[id] = p.d
+			if err := s.indexDocLocked(c.name, p.d); err != nil {
+				return nil, fmt.Errorf("docstore: txn apply (unreachable after validation): %w", err)
+			}
+		}
+	}
+
+	ids := make([]string, len(staged))
+	for i, op := range staged {
+		ids[i] = op.ID
+	}
+	return ids, nil
+}
+
+// lockShards write-locks the distinct shards the staged ops touch, in
+// ascending stripe order, and returns the matching unlock.
+func (c *Collection) lockShards(staged []TxnOp) (unlock func()) {
+	seen := make(map[int]struct{}, len(staged))
+	idxs := make([]int, 0, len(staged))
+	for _, op := range staged {
+		i := c.shardIndexFor(op.ID)
+		if _, ok := seen[i]; !ok {
+			seen[i] = struct{}{}
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		c.shards[i].mu.Lock()
+	}
+	return func() {
+		for j := len(idxs) - 1; j >= 0; j-- {
+			c.shards[idxs[j]].mu.Unlock()
+		}
+	}
+}
+
+// checkIndexableLocked verifies the document can enter every index
+// fragment of its shard — the exact failure conditions of
+// indexDocLocked, checked before any state changes. Caller holds the
+// shard's write lock.
+// lint:holds s.mu
+func (s *shard) checkIndexableLocked(collection string, d *Doc) error {
+	for field := range s.hashIdx {
+		v, ok := d.F[field]
+		if !ok {
+			continue
+		}
+		if _, err := indexKey(v); err != nil {
+			return fmt.Errorf("docstore: indexing %s.%s: %w", collection, field, err)
+		}
+	}
+	for field := range s.ordIdx {
+		v, ok := d.F[field]
+		if !ok {
+			continue
+		}
+		if _, ok := asFloat(v); !ok {
+			return fmt.Errorf("docstore: ordered index %s.%s: non-numeric value %T", collection, field, v)
+		}
+	}
+	return nil
+}
+
+// ReadTxn is a consistent point-in-time view of a collection: the
+// document set as of NewReadTxn, unaffected by writers committing
+// afterwards. Because every write path replaces documents copy-on-write
+// and multi-op transactions hold all their shard locks through apply, a
+// ReadTxn never sees half a transaction. It holds no locks after
+// construction, so writers proceed while readers iterate.
+type ReadTxn struct {
+	name string
+	docs map[string]*Doc
+}
+
+// NewReadTxn captures a consistent snapshot of the collection. The
+// capture briefly read-locks every shard simultaneously (in stripe
+// order) and clones only the ID → document map, not the documents.
+func (c *Collection) NewReadTxn() *ReadTxn {
+	for _, s := range c.shards {
+		s.mu.RLock()
+	}
+	total := 0
+	for _, s := range c.shards {
+		total += len(s.docs)
+	}
+	docs := make(map[string]*Doc, total)
+	for _, s := range c.shards {
+		for id, d := range s.docs {
+			docs[id] = d
+		}
+	}
+	for i := len(c.shards) - 1; i >= 0; i-- {
+		c.shards[i].mu.RUnlock()
+	}
+	return &ReadTxn{name: c.name, docs: docs}
+}
+
+// Count reports the snapshot's document count.
+func (r *ReadTxn) Count() int { return len(r.docs) }
+
+// Get returns a copy of the snapshot's document with the given ID.
+func (r *ReadTxn) Get(id string) (*Doc, error) {
+	d, ok := r.docs[id]
+	if !ok {
+		return nil, fmt.Errorf("docstore: id %q not found in collection %q", id, r.name)
+	}
+	return &Doc{ID: d.ID, F: cloneFields(d.F)}, nil
+}
+
+// GetMany returns copies of the snapshot's documents, in order, erroring
+// on the first missing ID.
+func (r *ReadTxn) GetMany(ids []string) ([]*Doc, error) {
+	out := make([]*Doc, len(ids))
+	for i, id := range ids {
+		d, ok := r.docs[id]
+		if !ok {
+			return nil, fmt.Errorf("docstore: id %q not found in collection %q", id, r.name)
+		}
+		out[i] = &Doc{ID: d.ID, F: cloneFields(d.F)}
+	}
+	return out, nil
+}
+
+// AllIDs returns every snapshot document ID in sorted order.
+func (r *ReadTxn) AllIDs() []string {
+	ids := make([]string, 0, len(r.docs))
+	for id := range r.docs {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	return ids
+}
+
+// FindIDs evaluates the query against the snapshot by full scan (no
+// index acceleration — indexes move on with the live collection) with
+// the same ordering, pagination, and determinism as Collection.FindIDs.
+func (r *ReadTxn) FindIDs(q Query) ([]string, error) {
+	var matched []string
+	var keys []any
+	for id, d := range r.docs {
+		ok := true
+		for _, f := range q.Filters {
+			if !f.matches(d) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		matched = append(matched, id)
+		if q.SortBy != "" {
+			keys = append(keys, d.F[q.SortBy])
+		}
+	}
+	if q.SortBy == "" {
+		sortIDs(matched)
+		if q.Desc {
+			for i, j := 0, len(matched)-1; i < j; i, j = i+1, j-1 {
+				matched[i], matched[j] = matched[j], matched[i]
+			}
+		}
+	} else {
+		sort.Sort(&sortByKey{ids: matched, keys: keys, desc: q.Desc})
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(matched) {
+			return nil, nil
+		}
+		matched = matched[q.Offset:]
+	}
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
+	}
+	return matched, nil
+}
+
+// Find returns copies of snapshot documents matching the query,
+// honoring Query.Project.
+func (r *ReadTxn) Find(q Query) ([]*Doc, error) {
+	ids, err := r.FindIDs(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Doc, len(ids))
+	for i, id := range ids {
+		d := r.docs[id]
+		if len(q.Project) == 0 {
+			out[i] = &Doc{ID: d.ID, F: cloneFields(d.F)}
+			continue
+		}
+		f := make(Fields, len(q.Project))
+		for _, field := range q.Project {
+			if v, ok := d.F[field]; ok {
+				f[field] = v
+			}
+		}
+		out[i] = &Doc{ID: d.ID, F: f}
+	}
+	return out, nil
+}

@@ -1,0 +1,291 @@
+package docstore
+
+import (
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestApplyTxnAllOps(t *testing.T) {
+	c := NewStore().Collection("peaks")
+	if _, err := c.Insert("seed", Fields{"n": 0}); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := c.ApplyTxn([]TxnOp{
+		{Kind: TxnAdd, F: Fields{"n": 1}},
+		{Kind: TxnAdd, ID: "named", F: Fields{"n": 2}},
+		{Kind: TxnUpdate, ID: "seed", F: Fields{"n": 10}},
+		{Kind: TxnDelete, ID: "named"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 4 || ids[0] == "" || ids[1] != "named" || ids[2] != "seed" || ids[3] != "named" {
+		t.Fatalf("ids = %v", ids)
+	}
+	if d, err := c.Get("seed"); err != nil || d.F["n"] != int64(10) {
+		t.Fatalf("seed after txn = %v, %v; want n=10", d, err)
+	}
+	// The Add→Delete pair within one txn nets out to absence.
+	if _, err := c.Get("named"); err == nil {
+		t.Fatal("named should have been deleted by the same txn")
+	}
+	if c.Count() != 2 {
+		t.Fatalf("count = %d; want 2 (seed + generated)", c.Count())
+	}
+}
+
+func TestApplyTxnIsAllOrNothing(t *testing.T) {
+	c := NewStore().Collection("peaks")
+	if _, err := c.Insert("a", Fields{"n": 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Op 1 is fine, op 2 updates a missing doc: nothing may apply.
+	_, err := c.ApplyTxn([]TxnOp{
+		{Kind: TxnUpdate, ID: "a", F: Fields{"n": 99}},
+		{Kind: TxnUpdate, ID: "ghost", F: Fields{"n": 1}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "txn op 1") {
+		t.Fatalf("err = %v; want failure naming op 1", err)
+	}
+	if d, _ := c.Get("a"); d.F["n"] != int64(1) {
+		t.Fatalf("a.n = %v after failed txn; want untouched 1", d.F["n"])
+	}
+
+	// Duplicate Add against an existing doc rolls everything back too.
+	_, err = c.ApplyTxn([]TxnOp{
+		{Kind: TxnAdd, ID: "b", F: Fields{"n": 2}},
+		{Kind: TxnAdd, ID: "a", F: Fields{"n": 3}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "duplicate id") {
+		t.Fatalf("err = %v; want duplicate id", err)
+	}
+	if _, gerr := c.Get("b"); gerr == nil {
+		t.Fatal("b leaked from a failed txn")
+	}
+}
+
+func TestApplyTxnValidatesIndexability(t *testing.T) {
+	c := NewStore().Collection("peaks")
+	if err := c.CreateOrderedIndex("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert("ok", Fields{"t": 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.ApplyTxn([]TxnOp{
+		{Kind: TxnAdd, ID: "fine", F: Fields{"t": 2.0}},
+		{Kind: TxnAdd, ID: "bad", F: Fields{"t": "not-a-number"}},
+	})
+	if err == nil {
+		t.Fatal("non-numeric value slipped past an ordered index")
+	}
+	if _, gerr := c.Get("fine"); gerr == nil {
+		t.Fatal("fine leaked from a txn rejected by index validation")
+	}
+	// Index stayed consistent: query still answers.
+	ids, err := c.FindIDs(Query{Filters: []Filter{Lte("t", 5.0)}})
+	if err != nil || len(ids) != 1 || ids[0] != "ok" {
+		t.Fatalf("index query after failed txn = %v, %v", ids, err)
+	}
+}
+
+func TestTxnBuilderCommit(t *testing.T) {
+	c := NewStore().Collection("peaks")
+	txn := c.NewTxn().Add("x", Fields{"n": 1}).Add("y", Fields{"n": 2}).Update("x", Fields{"n": 3})
+	if txn.Len() != 3 {
+		t.Fatalf("Len = %d; want 3", txn.Len())
+	}
+	ids, err := txn.Commit()
+	if err != nil || len(ids) != 3 {
+		t.Fatalf("Commit = %v, %v", ids, err)
+	}
+	if txn.Len() != 0 {
+		t.Fatal("ops not cleared after successful commit")
+	}
+	if d, _ := c.Get("x"); d.F["n"] != int64(3) {
+		t.Fatalf("x.n = %v; want 3 (later op sees earlier ones)", d.F["n"])
+	}
+
+	// A failed commit keeps the ops for inspection or retry.
+	bad := c.NewTxn().Delete("ghost")
+	if _, err := bad.Commit(); err == nil {
+		t.Fatal("deleting a missing doc should fail")
+	}
+	if bad.Len() != 1 {
+		t.Fatal("failed commit cleared the ops")
+	}
+}
+
+func TestReadTxnSeesConsistentViewWhileWritersProceed(t *testing.T) {
+	c := NewStore().Collection("peaks")
+	for i := 0; i < 100; i++ {
+		if _, err := c.Insert("", Fields{"n": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt := c.NewReadTxn()
+	if rt.Count() != 100 {
+		t.Fatalf("snapshot count = %d; want 100", rt.Count())
+	}
+
+	// Writers proceed underneath; the snapshot must not move.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c.Insert("", Fields{"n": 1000 + w*50 + i})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if rt.Count() != 100 {
+		t.Fatalf("snapshot count moved to %d after concurrent writes", rt.Count())
+	}
+	if c.Count() != 300 {
+		t.Fatalf("live count = %d; want 300", c.Count())
+	}
+	ids, err := rt.FindIDs(Query{Filters: []Filter{Lte("n", 99.0)}})
+	if err != nil || len(ids) != 100 {
+		t.Fatalf("snapshot FindIDs = %d ids, %v; want 100", len(ids), err)
+	}
+}
+
+func TestReadTxnUnaffectedByUpdateAndDelete(t *testing.T) {
+	c := NewStore().Collection("peaks")
+	if _, err := c.Insert("a", Fields{"n": 1}); err != nil {
+		t.Fatal(err)
+	}
+	rt := c.NewReadTxn()
+	if err := c.Update("a", Fields{"n": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := rt.Get("a"); err != nil || d.F["n"] != int64(1) {
+		t.Fatalf("snapshot sees n=%v, %v; want the pre-update 1", d.F["n"], err)
+	}
+	if err := c.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Get("a"); err != nil {
+		t.Fatal("snapshot lost a doc deleted after the snapshot was taken")
+	}
+}
+
+// --- Wire-level transaction tests ---
+
+func TestTxnOverWire(t *testing.T) {
+	srv, addr := startTestServer(t, ServerConfig{})
+	cl, err := Dial(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ids, err := cl.NewTxn("peaks").
+		Add("a", Fields{"n": 1}).
+		Add("", Fields{"n": 2}).
+		Update("a", Fields{"n": 10}).
+		Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != "a" || ids[1] == "" {
+		t.Fatalf("ids = %v", ids)
+	}
+	d, err := cl.Get("peaks", "a")
+	if err != nil || d.F["n"] != int64(10) {
+		t.Fatalf("a over wire = %v, %v; want n=10", d, err)
+	}
+
+	// Server-side atomicity surfaces as a client error with nothing applied.
+	if _, err := cl.ApplyTxn("peaks", []TxnOp{
+		{Kind: TxnAdd, ID: "c", F: Fields{"n": 3}},
+		{Kind: TxnDelete, ID: "ghost"},
+	}); err == nil {
+		t.Fatal("txn with a bad op should fail over the wire")
+	}
+	if _, err := cl.Get("peaks", "c"); err == nil {
+		t.Fatal("c leaked from a failed wire txn")
+	}
+	_ = srv
+}
+
+// TestTxnSurvivesMidTxnConnectionDrop routes the client through a proxy
+// that kills the first connection mid-request: the partial transaction
+// must not apply on the server, and the client's retry must land it
+// exactly once afterwards.
+func TestTxnSurvivesMidTxnConnectionDrop(t *testing.T) {
+	srv, addr := startTestServer(t, ServerConfig{})
+
+	proxy, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	var once sync.Once
+	go func() {
+		for {
+			conn, err := proxy.Accept()
+			if err != nil {
+				return
+			}
+			killed := false
+			once.Do(func() {
+				// Forward half the request bytes, then cut the link: the
+				// server sees a truncated gob stream, never a full txn.
+				buf := make([]byte, 64)
+				n, _ := conn.Read(buf)
+				if n > 0 {
+					if back, err := net.Dial("tcp", addr); err == nil {
+						back.Write(buf[:n/2])
+						back.Close()
+					}
+				}
+				conn.Close()
+				killed = true
+			})
+			if killed {
+				continue
+			}
+			back, err := net.Dial("tcp", addr)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			go func() { io.Copy(back, conn); back.Close() }()
+			go func() { io.Copy(conn, back); conn.Close() }()
+		}
+	}()
+
+	cl, err := Dial(proxy.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ids, err := cl.ApplyTxn("peaks", []TxnOp{
+		{Kind: TxnAdd, ID: "a", F: Fields{"n": 1}},
+		{Kind: TxnAdd, ID: "b", F: Fields{"n": 2}},
+	})
+	if err != nil {
+		t.Fatalf("txn through flaky proxy should retry and succeed: %v", err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+	// Exactly one application: the torn first attempt must not have
+	// half-applied (or double-applied after the retry).
+	c := srv.store.Collection("peaks")
+	if c.Count() != 2 {
+		t.Fatalf("server count = %d; want exactly 2", c.Count())
+	}
+	for _, id := range []string{"a", "b"} {
+		if _, err := c.Get(id); err != nil {
+			t.Fatalf("doc %s missing after retried txn: %v", id, err)
+		}
+	}
+}

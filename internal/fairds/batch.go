@@ -205,7 +205,20 @@ func (s *Service) ingestChunk(ctx context.Context, samples []*codec.Sample, lo, 
 		}
 	}
 	_, sp = obs.StartSpan(ctx, "store_insert")
-	chunkIDs, err := s.store.InsertMany(fields)
+	var chunkIDs []string
+	var err error
+	if ts, ok := s.store.(TxnStore); ok {
+		// One transaction per chunk: on a WAL-durable store the chunk is
+		// one commit record (durable and atomic as a unit), and on any
+		// store readers never observe a half-ingested chunk.
+		ops := make([]docstore.TxnOp, len(fields))
+		for row, f := range fields {
+			ops[row] = docstore.TxnOp{Kind: docstore.TxnAdd, F: f}
+		}
+		chunkIDs, err = ts.ApplyTxn(ops)
+	} else {
+		chunkIDs, err = s.store.InsertMany(fields)
+	}
 	sp.End()
 	if err != nil {
 		// InsertMany is atomic per chunk: nothing from this chunk landed.

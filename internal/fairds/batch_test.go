@@ -6,6 +6,7 @@ import (
 
 	"fairdms/internal/codec"
 	"fairdms/internal/docstore"
+	"fairdms/internal/wal"
 )
 
 // fitService returns a service whose clustering model is fitted on regime-a
@@ -214,3 +215,40 @@ var errInjected = &injectedError{}
 type injectedError struct{}
 
 func (*injectedError) Error() string { return "injected store failure" }
+
+// TestIngestBatchCommitsChunksAsTransactions: on a WAL-durable store,
+// each ingest chunk lands as exactly one commit record — the unit of
+// atomicity and durability for batch ingest.
+func TestIngestBatchCommitsChunksAsTransactions(t *testing.T) {
+	ds, err := docstore.OpenDurable(docstore.DurableOptions{Dir: t.TempDir(), Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	svc, err := New(idEmbedder{dim: 6}, ds.Collection("peaks"), Config{Seed: 1, KMin: 2, KMax: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := twoRegimes(11, 40)
+	x, err := Collate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.FitClustersK(x, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	before := ds.WalStats().Appends
+	docs, _ := twoRegimes(13, 30)
+	res, err := svc.IngestLabeledBatch(docs, "run-a", BatchOptions{ChunkSize: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Inserted(); got != len(docs) {
+		t.Fatalf("inserted %d, want %d", got, len(docs))
+	}
+	wantChunks := int64((len(docs) + 7) / 8)
+	if got := ds.WalStats().Appends - before; got != wantChunks {
+		t.Fatalf("ingest appended %d WAL records; want one per chunk = %d", got, wantChunks)
+	}
+}

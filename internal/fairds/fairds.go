@@ -89,6 +89,11 @@ func (r RemoteCollection) CreateHashIndex(field string) error {
 	return r.Client.CreateHashIndex(r.Name, field)
 }
 
+// ApplyTxn forwards a whole transaction to the remote collection.
+func (r RemoteCollection) ApplyTxn(ops []docstore.TxnOp) ([]string, error) {
+	return r.Client.ApplyTxn(r.Name, ops)
+}
+
 // CountChecked is Count with the RPC error preserved, so callers that must
 // distinguish "empty" from "unreachable" (the New readiness decision) can.
 func (r RemoteCollection) CountChecked() (int, error) {
@@ -200,6 +205,15 @@ func New(embedder embed.Embedder, store DataStore, cfg Config) (*Service, error)
 // cannot fail and does not need to.
 type countChecker interface {
 	CountChecked() (int, error)
+}
+
+// TxnStore is an optional DataStore upgrade: a backend that can commit a
+// batch of operations as one all-or-nothing transaction (one WAL commit
+// record when the backing store is durable). Both *docstore.Collection
+// and RemoteCollection implement it; batch ingest uses it to commit each
+// chunk atomically.
+type TxnStore interface {
+	ApplyTxn(ops []docstore.TxnOp) ([]string, error)
 }
 
 // storeKnownEmpty reports whether the store is verifiably empty —

@@ -25,14 +25,21 @@ import (
 // only after a clean close. On any failure the temp file is removed and
 // the previous content of path (if any) is left untouched.
 func WriteAtomic(path string, write func(io.Writer) error) error {
+	return WriteAtomicFS(OS{}, path, write)
+}
+
+// WriteAtomicFS is WriteAtomic against an explicit FS, so the
+// crash-injection layer can cut the snapshot write short at any byte the
+// same way it cuts WAL appends.
+func WriteAtomicFS(fsys FS, path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
 	if err != nil {
 		return fmt.Errorf("fsx: create %s: %w", tmp, err)
 	}
 	fail := func(stage string, err error) error {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("fsx: %s %s: %w", stage, path, err)
 	}
 	if err := write(f); err != nil {
@@ -44,8 +51,8 @@ func WriteAtomic(path string, write func(io.Writer) error) error {
 	if err := f.Close(); err != nil {
 		return fail("close", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("fsx: rename %s: %w", path, err)
 	}
 	return nil
@@ -56,7 +63,7 @@ func WriteAtomic(path string, write func(io.Writer) error) error {
 // temp file inherits it before the rename).
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	return WriteAtomic(path, func(w io.Writer) error {
-		if f, ok := w.(*os.File); ok {
+		if f, ok := w.(File); ok {
 			if err := f.Chmod(perm); err != nil {
 				return err
 			}

@@ -1,0 +1,559 @@
+// Package wal implements the append-only write-ahead log under the
+// docstore's durability plane. Records are opaque payloads framed as
+//
+//	[u32 length][u32 CRC32-C][u64 LSN][payload]
+//
+// (all little-endian; the checksum covers LSN and payload) appended to a
+// small fixed set of segment files so concurrent committers rarely share
+// a file lock. Every append is stamped with a log sequence number from
+// one global counter, which gives replay a total order across segments:
+// Open merge-sorts recovered records by LSN, and truncates each segment
+// at the first torn or corrupt record rather than failing startup — a
+// crash mid-append loses at most the record being written.
+//
+// Durability is a policy knob: SyncAlways fsyncs on every append (commit
+// acknowledgement implies durability), SyncInterval fsyncs on a
+// background tick (bounded loss window), SyncOff leaves flushing to the
+// OS (crash-consistent but lossy). Rotation opens a new segment
+// generation after fsyncing the old one; compaction callers fold
+// everything up to a rotation point into a snapshot and then delete the
+// superseded generations.
+//
+// All I/O goes through an fsx.FS so the crash-injection harness can cut
+// any write short at any byte.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fairdms/internal/fsx"
+)
+
+// Policy selects when appended records are fsynced.
+type Policy uint8
+
+const (
+	// SyncAlways fsyncs every append before it returns: a successful
+	// commit is durable against power loss.
+	SyncAlways Policy = iota
+	// SyncInterval fsyncs on a background tick: commits may be lost
+	// within the last interval, never reordered or torn.
+	SyncInterval
+	// SyncOff never fsyncs (outside rotation and clean close): the OS
+	// decides when bytes reach the disk.
+	SyncOff
+)
+
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// ParsePolicy maps the -fsync flag values to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+	}
+}
+
+const (
+	// magic opens every segment file; a file too short to hold it (or
+	// holding something else) is treated as torn at byte 0.
+	magic      = "FDWAL001"
+	headerSize = len(magic)
+
+	// recHeaderSize frames each record: length, checksum, LSN.
+	recHeaderSize = 4 + 4 + 8
+
+	// maxRecordSize bounds a single payload; a length field beyond it is
+	// corruption, not a 4 GiB allocation.
+	maxRecordSize = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures Open.
+type Options struct {
+	// Shards is the number of segment files records are striped over
+	// (default 4). More shards mean less append-lock contention.
+	Shards int
+	// Policy is the fsync policy (default SyncAlways).
+	Policy Policy
+	// Interval is the background fsync period under SyncInterval
+	// (default 50ms).
+	Interval time.Duration
+	// FS is the filesystem (default the real one).
+	FS fsx.FS
+}
+
+// Record is one recovered log entry.
+type Record struct {
+	LSN     uint64
+	Payload []byte
+}
+
+// Stats is a point-in-time copy of the log's counters.
+type Stats struct {
+	Appends         int64
+	AppendedBytes   int64
+	Syncs           int64
+	Rotations       int64
+	Replays         int64
+	ReplayedRecords int64
+	TornTruncations int64
+	CorruptRecords  int64
+	SegmentsRemoved int64
+}
+
+// Log is an open write-ahead log. Safe for concurrent use.
+type Log struct {
+	dir    string
+	fs     fsx.FS
+	policy Policy
+	lsn    atomic.Uint64 // last allocated LSN
+	gen    atomic.Uint64 // current segment generation
+	closed atomic.Bool
+
+	shards []*logShard
+
+	// rotMu serializes rotation and close against each other; appends
+	// take only their shard lock (rotation takes all shard locks).
+	rotMu sync.Mutex
+
+	stop chan struct{} // closes the interval syncer
+	done chan struct{}
+
+	appends         atomic.Int64
+	appendedBytes   atomic.Int64
+	syncs           atomic.Int64
+	rotations       atomic.Int64
+	replays         atomic.Int64
+	replayedRecords atomic.Int64
+	tornTruncations atomic.Int64
+	corruptRecords  atomic.Int64
+	segmentsRemoved atomic.Int64
+}
+
+// logShard is one segment file of the current generation.
+type logShard struct {
+	mu    sync.Mutex
+	f     fsx.File // guarded by mu
+	path  string   // guarded by mu
+	dirty bool     // guarded by mu; written bytes not yet fsynced
+}
+
+// segmentName formats a segment filename; parseSegmentName inverts it.
+func segmentName(shard int, gen uint64) string {
+	return fmt.Sprintf("wal-%04d-%08d.log", shard, gen)
+}
+
+func parseSegmentName(name string) (shard int, gen uint64, ok bool) {
+	var s int
+	var g uint64
+	if n, err := fmt.Sscanf(name, "wal-%04d-%08d.log", &s, &g); err != nil || n != 2 {
+		return 0, 0, false
+	}
+	if segmentName(s, g) != name {
+		return 0, 0, false
+	}
+	return s, g, true
+}
+
+// Open replays every segment in dir and returns the log positioned for
+// appends plus the recovered records sorted by LSN. Torn or corrupt
+// tails are truncated off their segment (and counted) rather than
+// failing the open. Appends go to a fresh segment generation, so replay
+// never rereads bytes written after this Open.
+func Open(dir string, opt Options) (*Log, []Record, error) {
+	if opt.Shards < 1 {
+		opt.Shards = 4
+	}
+	if opt.Interval <= 0 {
+		opt.Interval = 50 * time.Millisecond
+	}
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = fsx.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+
+	l := &Log{
+		dir:    dir,
+		fs:     fsys,
+		policy: opt.Policy,
+		shards: make([]*logShard, opt.Shards),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+
+	records, maxGen, err := l.replay()
+	if err != nil {
+		return nil, nil, err
+	}
+	l.gen.Store(maxGen + 1)
+	for i := range l.shards {
+		sh := &logShard{path: filepath.Join(dir, segmentName(i, l.gen.Load()))}
+		f, err := fsys.OpenFile(sh.path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			l.closeShards()
+			return nil, nil, fmt.Errorf("wal: open segment %s: %w", sh.path, err)
+		}
+		sh.f = f
+		if _, err := f.Write([]byte(magic)); err != nil {
+			l.closeShards()
+			return nil, nil, fmt.Errorf("wal: write segment header %s: %w", sh.path, err)
+		}
+		l.shards[i] = sh
+	}
+
+	if opt.Policy == SyncInterval {
+		go l.syncLoop(opt.Interval)
+	} else {
+		close(l.done)
+	}
+	return l, records, nil
+}
+
+// replay scans dir for segments of every generation, decoding records and
+// truncating each file at its first torn or corrupt record.
+func (l *Log) replay() ([]Record, uint64, error) {
+	entries, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: read dir %s: %w", l.dir, err)
+	}
+	var records []Record
+	var maxGen, maxLSN uint64
+	for _, e := range entries {
+		_, gen, ok := parseSegmentName(e.Name())
+		if !ok {
+			continue
+		}
+		if gen > maxGen {
+			maxGen = gen
+		}
+		path := filepath.Join(l.dir, e.Name())
+		data, err := l.fs.ReadFile(path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("wal: read segment %s: %w", path, err)
+		}
+		recs, keep := l.scanSegment(data)
+		if keep < int64(len(data)) {
+			if err := l.fs.Truncate(path, keep); err != nil {
+				return nil, 0, fmt.Errorf("wal: truncate torn segment %s: %w", path, err)
+			}
+		}
+		for _, r := range recs {
+			if r.LSN > maxLSN {
+				maxLSN = r.LSN
+			}
+		}
+		records = append(records, recs...)
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].LSN < records[j].LSN })
+	l.lsn.Store(maxLSN)
+	l.replays.Add(1)
+	l.replayedRecords.Add(int64(len(records)))
+	return records, maxGen, nil
+}
+
+// scanSegment decodes records from one segment image and returns them
+// with the byte offset up to which the file is valid. Anything past that
+// offset is a torn tail (not enough bytes for a whole record) or a
+// corrupt record (checksum or length-field mismatch); either way the scan
+// stops there.
+func (l *Log) scanSegment(data []byte) ([]Record, int64) {
+	if len(data) < headerSize || string(data[:headerSize]) != magic {
+		if len(data) >= headerSize {
+			l.corruptRecords.Add(1)
+		} else if len(data) > 0 {
+			l.tornTruncations.Add(1)
+		}
+		return nil, 0
+	}
+	var recs []Record
+	off := int64(headerSize)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return recs, off
+		}
+		if len(rest) < recHeaderSize {
+			l.tornTruncations.Add(1)
+			return recs, off
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		lsn := binary.LittleEndian.Uint64(rest[8:16])
+		if n > maxRecordSize {
+			l.corruptRecords.Add(1)
+			return recs, off
+		}
+		if int64(len(rest)) < int64(recHeaderSize)+int64(n) {
+			l.tornTruncations.Add(1)
+			return recs, off
+		}
+		payload := rest[recHeaderSize : recHeaderSize+int(n)]
+		crc := crc32.Update(0, crcTable, rest[8:16])
+		crc = crc32.Update(crc, crcTable, payload)
+		if crc != sum {
+			l.corruptRecords.Add(1)
+			return recs, off
+		}
+		p := make([]byte, len(payload))
+		copy(p, payload)
+		recs = append(recs, Record{LSN: lsn, Payload: p})
+		off += int64(recHeaderSize) + int64(n)
+	}
+}
+
+// Append frames payload as one record, stamps it with the next LSN, and
+// writes it to the LSN's segment shard. Under SyncAlways it returns only
+// after the record is fsynced.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if l.closed.Load() {
+		return 0, errors.New("wal: log closed")
+	}
+	lsn := l.lsn.Add(1)
+	sh := l.shards[int(lsn%uint64(len(l.shards)))]
+
+	frame := make([]byte, recHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(frame[8:16], lsn)
+	copy(frame[recHeaderSize:], payload)
+	crc := crc32.Update(0, crcTable, frame[8:16])
+	crc = crc32.Update(crc, crcTable, payload)
+	binary.LittleEndian.PutUint32(frame[4:8], crc)
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if l.closed.Load() {
+		return 0, errors.New("wal: log closed")
+	}
+	if _, err := sh.f.Write(frame); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	sh.dirty = true
+	if l.policy == SyncAlways {
+		if err := sh.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+		sh.dirty = false
+		l.syncs.Add(1)
+	}
+	l.appends.Add(1)
+	l.appendedBytes.Add(int64(len(frame)))
+	return lsn, nil
+}
+
+// Sync flushes and fsyncs every dirty shard.
+func (l *Log) Sync() error {
+	var firstErr error
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		if sh.dirty && sh.f != nil {
+			if err := sh.f.Sync(); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				sh.dirty = false
+				l.syncs.Add(1)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return firstErr
+}
+
+func (l *Log) syncLoop(interval time.Duration) {
+	defer close(l.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.Sync()
+		}
+	}
+}
+
+// LastLSN returns the most recently allocated LSN.
+func (l *Log) LastLSN() uint64 { return l.lsn.Load() }
+
+// Policy returns the fsync policy the log was opened with.
+func (l *Log) Policy() Policy { return l.policy }
+
+// EnsureLSN raises the LSN counter to at least n, so LSNs never repeat
+// across a compaction that emptied the log.
+func (l *Log) EnsureLSN(n uint64) {
+	for {
+		cur := l.lsn.Load()
+		if cur >= n || l.lsn.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Rotate fsyncs and closes the current segment generation and opens a
+// fresh one; subsequent appends land in the new generation. It returns
+// the new generation number: every record appended before the call lives
+// in a generation strictly below it.
+func (l *Log) Rotate() (uint64, error) {
+	l.rotMu.Lock()
+	defer l.rotMu.Unlock()
+	if l.closed.Load() {
+		return 0, errors.New("wal: log closed")
+	}
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for i := len(l.shards) - 1; i >= 0; i-- {
+			l.shards[i].mu.Unlock()
+		}
+	}()
+	gen := l.gen.Load() + 1
+	for i, sh := range l.shards {
+		if err := sh.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: rotate sync %s: %w", sh.path, err)
+		}
+		if err := sh.f.Close(); err != nil {
+			return 0, fmt.Errorf("wal: rotate close %s: %w", sh.path, err)
+		}
+		sh.dirty = false
+		path := filepath.Join(l.dir, segmentName(i, gen))
+		f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return 0, fmt.Errorf("wal: rotate open %s: %w", path, err)
+		}
+		if _, err := f.Write([]byte(magic)); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("wal: rotate header %s: %w", path, err)
+		}
+		sh.f = f
+		sh.path = path
+	}
+	l.gen.Store(gen)
+	l.rotations.Add(1)
+	return gen, nil
+}
+
+// RemoveSegmentsBefore deletes every segment file of a generation below
+// gen — the GC step after a checkpoint has made those records redundant.
+func (l *Log) RemoveSegmentsBefore(gen uint64) (int, error) {
+	entries, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return 0, fmt.Errorf("wal: read dir %s: %w", l.dir, err)
+	}
+	removed := 0
+	for _, e := range entries {
+		_, g, ok := parseSegmentName(e.Name())
+		if !ok || g >= gen {
+			continue
+		}
+		if err := l.fs.Remove(filepath.Join(l.dir, e.Name())); err != nil {
+			return removed, fmt.Errorf("wal: remove segment %s: %w", e.Name(), err)
+		}
+		removed++
+	}
+	l.segmentsRemoved.Add(int64(removed))
+	return removed, nil
+}
+
+// Stats returns a copy of the log's counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends:         l.appends.Load(),
+		AppendedBytes:   l.appendedBytes.Load(),
+		Syncs:           l.syncs.Load(),
+		Rotations:       l.rotations.Load(),
+		Replays:         l.replays.Load(),
+		ReplayedRecords: l.replayedRecords.Load(),
+		TornTruncations: l.tornTruncations.Load(),
+		CorruptRecords:  l.corruptRecords.Load(),
+		SegmentsRemoved: l.segmentsRemoved.Load(),
+	}
+}
+
+// Close stops the background syncer, fsyncs every shard, and closes the
+// segment files. A clean close is durable regardless of policy.
+func (l *Log) Close() error {
+	l.rotMu.Lock()
+	defer l.rotMu.Unlock()
+	if !l.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(l.stop)
+	<-l.done
+	var firstErr error
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		if sh.f != nil {
+			if err := sh.f.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := sh.f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			sh.f = nil
+		}
+		sh.mu.Unlock()
+	}
+	return firstErr
+}
+
+// Abort closes the log without flushing or fsyncing — the crash path.
+// Tests use it to abandon a log exactly as a dying process would, leaving
+// whatever the OS (or the fault-injection layer) already accepted.
+func (l *Log) Abort() {
+	l.rotMu.Lock()
+	defer l.rotMu.Unlock()
+	if !l.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(l.stop)
+	<-l.done
+	l.closeShards()
+}
+
+func (l *Log) closeShards() {
+	for _, sh := range l.shards {
+		if sh == nil {
+			continue
+		}
+		sh.mu.Lock()
+		if sh.f != nil {
+			sh.f.Close()
+			sh.f = nil
+		}
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,381 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fairdms/internal/fsx"
+)
+
+func mustOpen(t *testing.T, dir string, opt Options) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	return l, recs
+}
+
+func appendAll(t *testing.T, l *Log, payloads ...string) []uint64 {
+	t.Helper()
+	lsns := make([]uint64, len(payloads))
+	for i, p := range payloads {
+		lsn, err := l.Append([]byte(p))
+		if err != nil {
+			t.Fatalf("Append(%q): %v", p, err)
+		}
+		lsns[i] = lsn
+	}
+	return lsns
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			l, recs := mustOpen(t, dir, Options{Shards: shards, Policy: SyncAlways})
+			if len(recs) != 0 {
+				t.Fatalf("fresh log replayed %d records", len(recs))
+			}
+			want := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+			lsns := appendAll(t, l, want...)
+			for i := 1; i < len(lsns); i++ {
+				if lsns[i] != lsns[i-1]+1 {
+					t.Fatalf("LSNs not contiguous: %v", lsns)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			l2, recs := mustOpen(t, dir, Options{Shards: shards, Policy: SyncAlways})
+			defer l2.Close()
+			if len(recs) != len(want) {
+				t.Fatalf("replayed %d records; want %d", len(recs), len(want))
+			}
+			for i, r := range recs {
+				// Replay is sorted by LSN: the global commit order.
+				if r.LSN != lsns[i] || string(r.Payload) != want[i] {
+					t.Fatalf("record %d = {%d %q}; want {%d %q}", i, r.LSN, r.Payload, lsns[i], want[i])
+				}
+			}
+			if l2.LastLSN() != lsns[len(lsns)-1] {
+				t.Fatalf("LastLSN after replay = %d; want %d", l2.LastLSN(), lsns[len(lsns)-1])
+			}
+		})
+	}
+}
+
+func TestReplaySurvivesShardCountChange(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Shards: 4, Policy: SyncAlways})
+	appendAll(t, l, "a", "b", "c", "d", "e", "f")
+	l.Close()
+
+	// Reopening with a different shard count must still replay everything:
+	// old segments are scanned wholesale, only new appends use the new
+	// striping.
+	l2, recs := mustOpen(t, dir, Options{Shards: 2, Policy: SyncAlways})
+	defer l2.Close()
+	if len(recs) != 6 {
+		t.Fatalf("replayed %d; want 6", len(recs))
+	}
+}
+
+// walSegments lists the segment files currently in dir.
+func walSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		if _, _, ok := parseSegmentName(e.Name()); ok {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+func TestTornTailTruncatedAtEveryOffset(t *testing.T) {
+	// Build a reference single-shard log with three records, then replay
+	// a copy truncated at every byte length. At every cut point the
+	// replayed prefix must be exactly the records whose frames fit.
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Shards: 1, Policy: SyncAlways})
+	payloads := []string{"first-record", "second", "third-and-longest-record"}
+	appendAll(t, l, payloads...)
+	l.Close()
+
+	segs := walSegments(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v; want one", segs)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, segs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame boundaries: header, then each record's end offset.
+	boundaries := []int{headerSize}
+	off := headerSize
+	for _, p := range payloads {
+		off += recHeaderSize + len(p)
+		boundaries = append(boundaries, off)
+	}
+	if off != len(full) {
+		t.Fatalf("frame math: computed %d bytes, file has %d", off, len(full))
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		sub := t.TempDir()
+		if err := os.WriteFile(filepath.Join(sub, segmentName(0, 1)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, recs := mustOpen(t, sub, Options{Shards: 1})
+		// Complete records strictly below the cut survive.
+		want := 0
+		for i := 1; i < len(boundaries); i++ {
+			if boundaries[i] <= cut {
+				want = i
+			}
+		}
+		if len(recs) != want {
+			t.Fatalf("cut at %d: replayed %d records; want %d", cut, len(recs), want)
+		}
+		for i, r := range recs {
+			if string(r.Payload) != payloads[i] {
+				t.Fatalf("cut at %d: record %d = %q; want %q", cut, i, r.Payload, payloads[i])
+			}
+		}
+		onBoundary := false
+		for _, b := range boundaries {
+			if cut == b {
+				onBoundary = true
+			}
+		}
+		st := l2.Stats()
+		if cut > headerSize && !onBoundary && st.TornTruncations == 0 {
+			t.Fatalf("cut at %d: torn tail not counted", cut)
+		}
+		if onBoundary && st.TornTruncations != 0 {
+			t.Fatalf("cut at boundary %d counted %d torn truncations", cut, st.TornTruncations)
+		}
+		l2.Close()
+	}
+}
+
+func TestCorruptRecordTruncatesAndCounts(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Shards: 1, Policy: SyncAlways})
+	appendAll(t, l, "keep-me", "flip-me", "lost-with-the-corruption")
+	l.Close()
+
+	seg := filepath.Join(dir, walSegments(t, dir)[0])
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte inside the second record.
+	off := headerSize + recHeaderSize + len("keep-me") + recHeaderSize + 2
+	data[off] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs := mustOpen(t, dir, Options{Shards: 1})
+	defer l2.Close()
+	if len(recs) != 1 || string(recs[0].Payload) != "keep-me" {
+		t.Fatalf("replay after bit flip = %v; want just keep-me", recs)
+	}
+	st := l2.Stats()
+	if st.CorruptRecords == 0 {
+		t.Fatal("corrupt record not counted")
+	}
+	// The corrupt tail was truncated away on disk, not just skipped.
+	after, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != headerSize+recHeaderSize+len("keep-me") {
+		t.Fatalf("segment not truncated: %d bytes", len(after))
+	}
+}
+
+func TestGarbageHeaderIgnoresSegment(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segmentName(0, 1)), []byte("not-a-wal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, recs := mustOpen(t, dir, Options{Shards: 1})
+	defer l.Close()
+	if len(recs) != 0 {
+		t.Fatalf("replayed %d records from garbage", len(recs))
+	}
+	if l.Stats().CorruptRecords == 0 {
+		t.Fatal("garbage header not counted as corruption")
+	}
+}
+
+func TestRotateAndRemoveSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Shards: 2, Policy: SyncAlways})
+	defer l.Close()
+	appendAll(t, l, "old-1", "old-2", "old-3")
+	gen, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "new-1", "new-2")
+	removed, err := l.RemoveSegmentsBefore(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("no old segments removed")
+	}
+	for _, name := range walSegments(t, dir) {
+		if _, g, _ := parseSegmentName(name); g < gen {
+			t.Fatalf("pre-rotation segment %s survived removal", name)
+		}
+	}
+
+	// Only post-rotation records remain for the next replay.
+	l.Close()
+	l2, recs := mustOpen(t, dir, Options{Shards: 2})
+	defer l2.Close()
+	got := map[string]bool{}
+	for _, r := range recs {
+		got[string(r.Payload)] = true
+	}
+	if len(recs) != 2 || !got["new-1"] || !got["new-2"] {
+		t.Fatalf("replay after compaction = %v; want new-1,new-2", got)
+	}
+}
+
+func TestEnsureLSNMovesForwardOnly(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Shards: 1})
+	defer l.Close()
+	l.EnsureLSN(10)
+	if got := l.LastLSN(); got != 10 {
+		t.Fatalf("LastLSN = %d; want 10", got)
+	}
+	l.EnsureLSN(3) // never moves backwards
+	if got := l.LastLSN(); got != 10 {
+		t.Fatalf("LastLSN after lower EnsureLSN = %d; want 10", got)
+	}
+	if lsn, err := l.Append([]byte("x")); err != nil || lsn != 11 {
+		t.Fatalf("next append = %d, %v; want 11", lsn, err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]Policy{"always": SyncAlways, "interval": SyncInterval, "off": SyncOff}
+	for s, want := range cases {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v; want %v", s, got, err, want)
+		}
+		if got.String() != s {
+			t.Fatalf("Policy(%v).String() = %q; want %q", got, got.String(), s)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy accepted garbage")
+	}
+}
+
+func TestSyncIntervalEventuallySyncs(t *testing.T) {
+	dir := t.TempDir()
+	fs := fsx.NewFaultFS(fsx.FaultPlan{DropUnsynced: true})
+	l, _ := mustOpen(t, dir, Options{Shards: 1, Policy: SyncInterval, Interval: 5 * time.Millisecond, FS: fs})
+	appendAll(t, l, "interval-synced")
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Syncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background syncer never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Simulated power cut: the background fsync already made the record
+	// durable, so a crash loses nothing.
+	fs.Crash()
+	l.Abort()
+	l2, recs := mustOpen(t, dir, Options{Shards: 1})
+	defer l2.Close()
+	if len(recs) != 1 || string(recs[0].Payload) != "interval-synced" {
+		t.Fatalf("replay = %v; want the interval-synced record", recs)
+	}
+}
+
+func TestCleanCloseIsDurableUnderSyncOff(t *testing.T) {
+	dir := t.TempDir()
+	fs := fsx.NewFaultFS(fsx.FaultPlan{DropUnsynced: true})
+	l, _ := mustOpen(t, dir, Options{Shards: 1, Policy: SyncOff, FS: fs})
+	appendAll(t, l, "flushed-at-close")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	l2, recs := mustOpen(t, dir, Options{Shards: 1})
+	defer l2.Close()
+	if len(recs) != 1 {
+		t.Fatalf("replay after clean close = %d records; want 1", len(recs))
+	}
+}
+
+func TestAppendAfterCrashFails(t *testing.T) {
+	dir := t.TempDir()
+	fs := fsx.NewFaultFS(fsx.FaultPlan{CrashAfterBytes: 1 << 20})
+	l, _ := mustOpen(t, dir, Options{Shards: 1, Policy: SyncAlways, FS: fs})
+	defer l.Abort()
+	fs.Crash()
+	if _, err := l.Append([]byte("x")); !errors.Is(err, fsx.ErrInjectedCrash) {
+		t.Fatalf("append on crashed fs: %v; want ErrInjectedCrash", err)
+	}
+}
+
+func TestStatsCountAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Shards: 1, Policy: SyncAlways})
+	defer l.Close()
+	appendAll(t, l, "aa", "bbbb")
+	st := l.Stats()
+	if st.Appends != 2 {
+		t.Fatalf("Appends = %d; want 2", st.Appends)
+	}
+	wantBytes := int64(2*recHeaderSize + 6)
+	if st.AppendedBytes != wantBytes {
+		t.Fatalf("AppendedBytes = %d; want %d", st.AppendedBytes, wantBytes)
+	}
+	if st.Syncs < 2 {
+		t.Fatalf("Syncs = %d; want ≥2 under SyncAlways", st.Syncs)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	for _, pol := range []Policy{SyncOff, SyncInterval} {
+		b.Run(pol.String(), func(b *testing.B) {
+			dir := b.TempDir()
+			l, _, err := Open(dir, Options{Shards: 4, Policy: pol, Interval: 50 * time.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			payload := bytes.Repeat([]byte("x"), 256)
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
