@@ -40,6 +40,7 @@ func main() {
 	setupDocs := flag.Int("setup-docs", 256, "corpus documents seeded before measuring")
 	seed := flag.Int64("seed", 1, "determinism seed for samples and scheduling")
 	traceSample := flag.Int("trace-sample", 16, "trace every Nth request end to end, keeping the slowest span trees in the report (0 disables)")
+	cluster := flag.Bool("cluster", false, "treat -addr as a dmsrouter: same workload, skip the single-daemon /statsz delta")
 	out := flag.String("out", "BENCH_dmsapi.json", "report path (empty = don't write)")
 	failOnErrors := flag.Bool("fail-on-errors", false, "exit non-zero if any request failed")
 	quiet := flag.Bool("q", false, "suppress progress logging")
@@ -61,6 +62,7 @@ func main() {
 		TrainEpochs: *trainEpochs,
 		Seed:        *seed,
 		TraceSample: *traceSample,
+		Cluster:     *cluster,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf

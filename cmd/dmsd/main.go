@@ -119,6 +119,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7718", "listen address")
 	storeAddr := flag.String("store", "", "external dstore address (empty = in-process store)")
 	collection := flag.String("collection", "fairds", "docstore collection for labeled samples")
+	nodeID := flag.String("node-id", "", "shard identity in a dmsrouter cluster; suffixes the collection so document IDs are namespaced per shard")
 	walDir := flag.String("wal-dir", "", "directory for WAL-durable in-process store (empty = memory only; incompatible with -store)")
 	fsyncPolicy := flag.String("fsync", "interval", "WAL fsync policy: always (fsync per commit), interval (background fsync), off")
 	compactInterval := flag.Duration("compact-interval", time.Minute, "background WAL-into-snapshot compaction period (0 = only at exit)")
@@ -140,6 +141,12 @@ func main() {
 	nprobe := flag.Int("nprobe", 4, "IVF sublists probed per query (higher = more accurate, slower)")
 	verbose := flag.Bool("v", false, "log request failures")
 	flag.Parse()
+
+	if *nodeID != "" {
+		// Document IDs are sequential within a collection; a per-shard
+		// collection suffix keeps them globally unique across a cluster.
+		*collection = *collection + "-" + *nodeID
+	}
 
 	var backend fairds.DataStore
 	var storeClient *docstore.Client

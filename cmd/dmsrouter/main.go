@@ -1,0 +1,105 @@
+// Command dmsrouter is the scale-out routing tier for a dmsd cluster: a
+// stateless HTTP front end that serves the same /v1 surface as a single
+// dmsd while consistent-hashing documents across N shards, scattering
+// queries to every shard with exact merges, and replicating model
+// registrations cluster-wide (internal/dmscluster).
+//
+// Shards must run with the same -seed (replicated embedder and
+// clustering models agree bit-for-bit, so scatter reductions are exact)
+// and distinct -node-id values (per-shard document-ID namespaces). An
+// unfitted cluster is bootstrapped by the first ingest: with -k > 0 the
+// router fits every shard's clustering model on that same full batch.
+//
+// Membership is static with active health probing: a dead shard is
+// ejected after -fail-after consecutive failures, ingest routes around
+// it, reads merge the survivors (responses flagged "degraded"), and a
+// recovered shard is re-admitted automatically. /statsz reports
+// per-node health and the membership epoch; /metricsz exports the same
+// in Prometheus text form.
+//
+// Usage:
+//
+//	dmsd -addr 127.0.0.1:7801 -node-id a -seed 1 &
+//	dmsd -addr 127.0.0.1:7802 -node-id b -seed 1 &
+//	dmsd -addr 127.0.0.1:7803 -node-id c -seed 1 &
+//	dmsrouter -addr 127.0.0.1:7718 \
+//	          -shards 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803 \
+//	          -k 8 -seed 1
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fairdms/internal/dmscluster"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7718", "listen address")
+	shardsFlag := flag.String("shards", "", "comma-separated dmsd shard addresses, in ring order (required)")
+	k := flag.Int("k", 8, "cluster count for the coordinated bootstrap fit on the first ingest (0 = shards must be pre-fitted)")
+	seed := flag.Int64("seed", 1, "determinism seed for the lookup merge's sampling; must match the shards' -seed")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = default 128)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "active health-probe cadence (negative disables; serving failures still eject)")
+	failAfter := flag.Int("fail-after", 2, "consecutive failures before a shard is ejected")
+	retries := flag.Int("retries", 1, "per-shard HTTP retry count")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-shard HTTP exchange timeout")
+	verbose := flag.Bool("v", false, "log request failures (membership transitions always log)")
+	flag.Parse()
+
+	if *shardsFlag == "" {
+		log.Fatal("dmsrouter: -shards is required")
+	}
+	var shards []string
+	for _, s := range strings.Split(*shardsFlag, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			shards = append(shards, s)
+		}
+	}
+
+	cluster, err := dmscluster.New(dmscluster.Config{
+		Shards:        shards,
+		Vnodes:        *vnodes,
+		BootstrapK:    *k,
+		Seed:          *seed,
+		ProbeInterval: *probeInterval,
+		FailAfter:     *failAfter,
+		Retries:       *retries,
+		Timeout:       *timeout,
+		Logger:        log.Default(),
+	})
+	if err != nil {
+		log.Fatalf("dmsrouter: %v", err)
+	}
+	cluster.Start()
+	defer cluster.Close()
+
+	var reqLogger *log.Logger
+	if *verbose {
+		reqLogger = log.Default()
+	}
+	router := dmscluster.NewRouter(cluster, reqLogger)
+	bound, err := router.Listen(*addr)
+	if err != nil {
+		log.Fatalf("dmsrouter: listen: %v", err)
+	}
+	log.Printf("dmsrouter: serving on http://%s over %d shards", bound, len(shards))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	st := cluster.Stats()
+	log.Printf("dmsrouter: shutting down (epoch %d, %d/%d shards healthy, %d degraded responses, %d reroutes)",
+		st.Epoch, st.HealthyShards, st.Shards, st.DegradedResponses, st.Reroutes)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := router.Shutdown(ctx); err != nil {
+		log.Printf("dmsrouter: shutdown: %v", err)
+	}
+}

@@ -19,10 +19,17 @@
 //     a package that calls error-returning functions of the sentinel's
 //     package must map it with errors.Is somewhere — deleting the mapping
 //     turns a typed 409/429/503 into an anonymous 500.
+//  4. Envelope helper only: an error status (WriteHeader with a constant
+//     >= 400) may be written only inside an envelope writer — a function
+//     named writeError, WriteError, or WriteStatusError. An ad-hoc
+//     WriteHeader(500) elsewhere ships a body without the unified
+//     {"error": {code, message, retryable}} envelope, which clients and
+//     the cluster router parse.
 package errboundary
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 	"strings"
@@ -76,6 +83,7 @@ func run(pass *anzkit.Pass, cfg Config) error {
 		checkRawReturns(pass, fd)
 	}
 	checkHTTPError(pass)
+	checkAdHocStatus(pass)
 	checkSentinels(pass, cfg, handlers[0])
 	return nil
 }
@@ -230,6 +238,46 @@ func checkHTTPError(pass *anzkit.Pass) {
 			}
 			return true
 		})
+	}
+}
+
+// envelopeWriters are the function names allowed to write error
+// statuses directly: the package-local helper and the shared dmsapi
+// envelope writers it delegates to.
+var envelopeWriters = map[string]bool{
+	"writeError":       true,
+	"WriteError":       true,
+	"WriteStatusError": true,
+}
+
+// checkAdHocStatus flags WriteHeader calls with a constant status >= 400
+// outside an envelope writer (rule 4).
+func checkAdHocStatus(pass *anzkit.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || envelopeWriters[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				fn := calleeFunc(pass, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" || fn.Name() != "WriteHeader" {
+					return true
+				}
+				tv, ok := pass.Info.Types[call.Args[0]]
+				if !ok || tv.Value == nil {
+					return true
+				}
+				if status, ok := constant.Int64Val(tv.Value); ok && status >= 400 {
+					pass.Reportf(call.Pos(), "ad-hoc WriteHeader(%d) in %s bypasses the JSON error envelope; route the failure through writeError/WriteError", status, fd.Name.Name)
+				}
+				return true
+			})
+		}
 	}
 }
 

@@ -1,5 +1,6 @@
-// Fixture handler package violating all three boundary rules: a raw
-// internal return, an http.Error call, and a never-mapped sentinel.
+// Fixture handler package violating all four boundary rules: a raw
+// internal return, an http.Error call, a never-mapped sentinel, and an
+// ad-hoc error status written outside an envelope helper.
 package a
 
 import (
@@ -21,5 +22,11 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) error { // wa
 
 func (s *server) handlePing(w http.ResponseWriter, r *http.Request) error {
 	http.Error(w, "nope", http.StatusTeapot) // want `http\.Error writes a plain-text body`
+	return nil
+}
+
+func (s *server) handleFail(w http.ResponseWriter, r *http.Request) error {
+	w.WriteHeader(http.StatusInternalServerError) // want `ad-hoc WriteHeader\(500\) in handleFail bypasses the JSON error envelope`
+	w.Write([]byte("boom"))
 	return nil
 }

@@ -19,18 +19,24 @@ import (
 	"fairdms/internal/stats"
 )
 
-// Client is a typed HTTP client for a dmsapi.Server. It reuses pooled
-// keep-alive connections (many requests share a handful of TCP streams, the
-// docstore client-pool idea applied to HTTP) and retries requests that
-// failed at the transport level — connection refused/reset, broken
-// keep-alive — with linear backoff. HTTP-level errors (4xx/5xx) are never
-// retried: the server answered, the answer was no. Note the retry semantics
-// for Ingest/AddModel: a response lost after the server committed the write
-// can surface a duplicate-side effect on retry; the server's duplicate-ID
-// rejection on AddModel makes that visible rather than silent. Safe for
-// concurrent use.
+// Client is a typed HTTP client for a dmsapi.Server (or a dmsrouter
+// fronting many of them). It reuses pooled keep-alive connections (many
+// requests share a handful of TCP streams, the docstore client-pool idea
+// applied to HTTP) and retries requests that failed at the transport
+// level — connection refused/reset, broken keep-alive — with linear
+// backoff, rotating through the WithSeeds fallback addresses when more
+// than one server is known. HTTP-level errors (4xx/5xx) are never
+// retried: the server answered, the answer was no. Note the retry
+// semantics for Ingest/AddModel: a response lost after the server
+// committed the write can surface a duplicate-side effect on retry; the
+// server's duplicate-ID rejection on AddModel makes that visible rather
+// than silent. Safe for concurrent use.
+//
+// Construct with NewClient; Dial and DialConfig remain for existing
+// call sites.
 type Client struct {
-	base    string
+	bases   []string // base URLs; cur indexes the currently preferred one
+	cur     atomic.Int32
 	hc      *http.Client
 	retries int
 	backoff time.Duration
@@ -41,6 +47,11 @@ type Client struct {
 }
 
 // ClientConfig tunes a Client.
+//
+// Deprecated: use NewClient with functional options (WithRetry,
+// WithTimeout, WithPool, WithTraceSample, WithSeeds); the struct cannot
+// express cluster seed lists or pool sizing and is kept only for
+// existing DialConfig call sites.
 type ClientConfig struct {
 	// Retries is the number of extra attempts after a transport-level
 	// failure (default 2).
@@ -76,31 +87,55 @@ func (c *ClientConfig) defaults() {
 }
 
 // Dial builds a client for the server at addr ("host:port") and probes
-// /healthz so misconfiguration fails fast.
+// /healthz so misconfiguration fails fast. Equivalent to NewClient(addr).
 func Dial(addr string) (*Client, error) {
 	return DialConfig(addr, ClientConfig{})
 }
 
 // DialConfig is Dial with explicit tuning.
+//
+// Deprecated: use NewClient with functional options. DialConfig keeps
+// working and maps onto the same construction path.
 func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 	cfg.defaults()
+	o := defaultOptions()
+	o.retries = cfg.Retries
+	o.backoff = cfg.Backoff
+	o.timeout = cfg.Timeout
+	o.traceSample = cfg.TraceSample
+	o.onTrace = cfg.OnTrace
+	return newClient(addr, o)
+}
+
+// newClient is the shared construction path behind NewClient and the
+// deprecated Dial/DialConfig.
+func newClient(addr string, o clientOptions) (*Client, error) {
+	bases := make([]string, 0, 1+len(o.seeds))
+	bases = append(bases, "http://"+addr)
+	for _, s := range o.seeds {
+		if s != "" && s != addr {
+			bases = append(bases, "http://"+s)
+		}
+	}
 	c := &Client{
-		base:    "http://" + addr,
-		retries: cfg.Retries,
-		backoff: cfg.Backoff,
-		sample:  cfg.TraceSample,
-		onTrace: cfg.OnTrace,
+		bases:   bases,
+		retries: o.retries,
+		backoff: o.backoff,
+		sample:  o.traceSample,
+		onTrace: o.onTrace,
 		hc: &http.Client{
-			Timeout: cfg.Timeout,
+			Timeout: o.timeout,
 			Transport: &http.Transport{
-				MaxIdleConns:        32,
-				MaxIdleConnsPerHost: 32,
+				MaxIdleConns:        o.poolSize,
+				MaxIdleConnsPerHost: o.poolSize,
 				IdleConnTimeout:     90 * time.Second,
 			},
 		},
 	}
-	if err := c.Ping(); err != nil {
-		return nil, fmt.Errorf("dmsapi: dial %s: %w", addr, err)
+	if o.ping {
+		if err := c.Ping(); err != nil {
+			return nil, fmt.Errorf("dmsapi: dial %s: %w", addr, err)
+		}
 	}
 	return c, nil
 }
@@ -174,6 +209,43 @@ func (c *Client) Nearest(samples []*codec.Sample, distinct bool) ([]Match, error
 	return out.Matches, err
 }
 
+// NearestExcluding is Nearest with an exclusion list of document IDs that
+// must not be matched, returning the full response (including the
+// cluster-mode Degraded flag).
+func (c *Client) NearestExcluding(ctx context.Context, samples []*codec.Sample, distinct bool, exclude []string) (NearestResponse, error) {
+	var out NearestResponse
+	err := c.DoJSON(ctx, "POST", PathNearest,
+		NearestRequest{Samples: FromCodecSlice(samples), Distinct: distinct, Exclude: exclude}, &out)
+	return out, err
+}
+
+// Fit explicitly fits the server's clustering model with k clusters on
+// the given samples (a no-op on an already-fitted service; the response
+// reports which). The cluster router bootstraps every shard through this
+// so the replicated models agree.
+func (c *Client) Fit(ctx context.Context, samples []*codec.Sample, k int) (FitResponse, error) {
+	var out FitResponse
+	err := c.DoJSON(ctx, "POST", PathFit, FitRequest{Samples: FromCodecSlice(samples), K: k}, &out)
+	return out, err
+}
+
+// SamplesByID fetches stored samples by document ID. With partial,
+// unknown IDs come back in the missing list instead of failing the call.
+func (c *Client) SamplesByID(ctx context.Context, ids []string, partial bool) ([]*codec.Sample, []string, error) {
+	var out SamplesResponse
+	if err := c.DoJSON(ctx, "POST", PathSamples, SamplesRequest{IDs: ids, Partial: partial}, &out); err != nil {
+		return nil, nil, err
+	}
+	return ToCodecSlice(out.Samples), out.Missing, nil
+}
+
+// ClusterIDs lists the document IDs assigned to one cluster, sorted.
+func (c *Client) ClusterIDs(ctx context.Context, cluster int) ([]string, error) {
+	var out ClusterIDsResponse
+	err := c.DoJSON(ctx, "POST", PathClusterIDs, ClusterIDsRequest{Cluster: cluster}, &out)
+	return out.IDs, err
+}
+
 // PDF computes the dataset's cluster probability distribution.
 func (c *Client) PDF(samples []*codec.Sample) (stats.PDF, error) {
 	var out PDFResponse
@@ -214,7 +286,7 @@ func (c *Client) Recommend(pdf stats.PDF, maxJSD float64) (RecommendResponse, er
 
 // Checkpoint downloads and decodes a model's weights.
 func (c *Client) Checkpoint(id string) (*nn.StateDict, error) {
-	body, err := c.doRetry("GET", strings.Replace(PathCheckpoint, "{id}", url.PathEscape(id), 1), nil)
+	body, err := c.doRetry(context.Background(), "GET", strings.Replace(PathCheckpoint, "{id}", url.PathEscape(id), 1), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -313,77 +385,98 @@ func (c *Client) RapidTrain(req TrainRequest, timeout time.Duration) (TrainJob, 
 // ---------------------------------------------------------------------------
 // Transport
 
-func (c *Client) postJSON(path string, in, out any) error {
-	payload, err := json.Marshal(in)
-	if err != nil {
-		return fmt.Errorf("dmsapi: encoding request: %w", err)
+// DoJSON performs one JSON exchange (marshal in → request → unmarshal the
+// 2xx body into out; nil in sends no body, nil out discards the body). It
+// is the context-aware exported transport the cluster tier is built on:
+// when ctx carries a sampled obs trace, the exchange joins it — the
+// round-trip span opens under the caller's current span, the trace ID
+// rides the request header, and the server's trailer span tree is
+// attached back into the caller's trace — so client → router → shard
+// produces one contiguous tree. Non-2xx responses decode into a
+// *StatusError (see the package sentinels).
+func (c *Client) DoJSON(ctx context.Context, method, path string, in, out any) error {
+	var payload []byte
+	if in != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("dmsapi: encoding request: %w", err)
+		}
 	}
-	body, err := c.doRetry("POST", path, payload)
+	body, err := c.DoRaw(ctx, method, path, payload)
 	if err != nil {
 		return err
 	}
+	if out == nil {
+		return nil
+	}
 	return json.Unmarshal(body, out)
+}
+
+// DoRaw is DoJSON without body codecs: it sends payload verbatim (nil for
+// no body) and returns the raw 2xx response body.
+func (c *Client) DoRaw(ctx context.Context, method, path string, payload []byte) ([]byte, error) {
+	return c.doRetry(ctx, method, path, payload)
+}
+
+func (c *Client) postJSON(path string, in, out any) error {
+	return c.DoJSON(context.Background(), "POST", path, in, out)
 }
 
 func (c *Client) getJSON(path string, out any) error {
-	body, err := c.doRetry("GET", path, nil)
-	if err != nil {
-		return err
-	}
-	return json.Unmarshal(body, out)
+	return c.DoJSON(context.Background(), "GET", path, nil, out)
 }
 
-// doRetry performs one HTTP exchange, retrying transport-level failures.
-// The request body is a byte slice (not a stream) precisely so each retry
-// can resend it from the start.
+// doRetry performs one HTTP exchange, retrying transport-level failures
+// with linear backoff and rotating to the next seed address on each such
+// failure. The request body is a byte slice (not a stream) precisely so
+// each retry can resend it from the start.
 //
-// When this request is the Nth of a TraceSample cadence, the exchange is
-// traced: a client_request root with one http_roundtrip span per attempt,
-// and — when the server returns its span tree on the response trailer —
-// the server tree grafted under the successful attempt. The merged dump
-// goes to OnTrace whatever the outcome, so failed exchanges are visible
-// too (just without a server subtree).
-func (c *Client) doRetry(method, path string, payload []byte) ([]byte, error) {
-	var (
-		tr   *obs.Trace
-		root *obs.Span
-		ctx  = context.Background()
-
-		serverDump obs.TraceDump
-		graftAt    = -1
-		haveServer bool
-	)
-	if c.sample > 0 && c.onTrace != nil && c.nreq.Add(1)%uint64(c.sample) == 0 {
+// Tracing takes one of two shapes:
+//   - joined: ctx already carries a trace (a router handling a traced
+//     request, or any caller inside an obs span). Round-trip spans open
+//     in that trace, and a sampled trace additionally sends the trace
+//     header and grafts the server's trailer tree back in.
+//   - sampled cadence: no trace in ctx, and this request is the Nth of
+//     the TraceSample cadence. A fresh client_request root is built and
+//     the merged dump goes to OnTrace whatever the outcome, so failed
+//     exchanges are visible too (just without a server subtree).
+func (c *Client) doRetry(ctx context.Context, method, path string, payload []byte) ([]byte, error) {
+	tr := obs.FromContext(ctx)
+	joined := tr != nil
+	if !joined && c.sample > 0 && c.onTrace != nil && c.nreq.Add(1)%uint64(c.sample) == 0 {
+		var root *obs.Span
 		tr = obs.NewTrace("", true)
 		ctx = obs.NewContext(ctx, tr)
 		ctx, root = obs.StartSpan(ctx, "client_request")
 		defer func() {
 			root.End()
-			dump := tr.Dump()
-			if haveServer {
-				dump = obs.Graft(dump, graftAt, serverDump)
-			}
-			c.onTrace(method+" "+path, dump)
+			c.onTrace(method+" "+path, tr.Dump())
 		}()
 	}
+	sampled := tr.Sampled()
 
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(time.Duration(attempt) * c.backoff)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(time.Duration(attempt) * c.backoff):
+			}
 		}
+		base := c.bases[int(c.cur.Load())%len(c.bases)]
 		var body io.Reader
 		if payload != nil {
 			body = bytes.NewReader(payload)
 		}
-		req, err := http.NewRequest(method, c.base+path, body)
+		req, err := http.NewRequestWithContext(ctx, method, base+path, body)
 		if err != nil {
 			return nil, err
 		}
 		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
-		if tr != nil {
+		if sampled {
 			req.Header.Set(obs.TraceHeader, obs.FormatTraceHeader(tr.ID(), true))
 		}
 		_, att := obs.StartSpan(ctx, "http_roundtrip")
@@ -391,6 +484,7 @@ func (c *Client) doRetry(method, path string, payload []byte) ([]byte, error) {
 		if err != nil {
 			att.End()
 			lastErr = err // transport-level: connection refused/reset, timeout
+			c.rotate()
 			continue
 		}
 		data, err := io.ReadAll(resp.Body)
@@ -398,14 +492,15 @@ func (c *Client) doRetry(method, path string, payload []byte) ([]byte, error) {
 		att.End()
 		if err != nil {
 			lastErr = err // response truncated mid-stream
+			c.rotate()
 			continue
 		}
 		// Trailers are populated only once the body is fully consumed; a
 		// missing or malformed trailer (fixed-length responses drop it)
 		// just means no server subtree.
-		if tr != nil {
+		if sampled {
 			if d, ok := obs.DecodeDump(resp.Trailer.Get(obs.SpanHeader)); ok {
-				serverDump, graftAt, haveServer = d, att.Index(), true
+				tr.AttachRemote(att.Index(), d)
 			}
 		}
 		if resp.StatusCode/100 != 2 {
@@ -416,20 +511,10 @@ func (c *Client) doRetry(method, path string, payload []byte) ([]byte, error) {
 	return nil, fmt.Errorf("dmsapi: %s %s failed after %d attempts: %w", method, path, c.retries+1, lastErr)
 }
 
-// StatusError is the typed form of a non-2xx server response.
-type StatusError struct {
-	Code    int
-	Message string
-}
-
-func (e *StatusError) Error() string {
-	return fmt.Sprintf("dmsapi: server returned %d: %s", e.Code, e.Message)
-}
-
-func statusError(code int, body []byte) error {
-	var er ErrorResponse
-	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
-		er.Error = strings.TrimSpace(string(body))
+// rotate moves the preferred base to the next seed after a transport
+// failure (a no-op for single-address clients).
+func (c *Client) rotate() {
+	if len(c.bases) > 1 {
+		c.cur.Store((c.cur.Load() + 1) % int32(len(c.bases)))
 	}
-	return &StatusError{Code: code, Message: er.Error}
 }

@@ -1,0 +1,196 @@
+package dmsapi
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestEnvelopeRoundTrip pins the wire contract the router tier relies
+// on: WriteError's envelope decodes back (via statusError, the client's
+// decode path) into an identical *StatusError — status, code, message,
+// and retryability all lossless, however many hops it crosses.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		status int
+		body   ErrorBody
+		want   StatusError
+	}{
+		{
+			name:   "409 not_fitted",
+			status: http.StatusConflict,
+			body:   ErrorBody{Code: CodeNotFitted, Message: "clustering model not fitted"},
+			want:   StatusError{Code: 409, ErrCode: CodeNotFitted, Message: "clustering model not fitted"},
+		},
+		{
+			name:   "429 overloaded retryable",
+			status: http.StatusTooManyRequests,
+			body:   ErrorBody{Code: CodeOverloaded, Message: "queue full", Retryable: true},
+			want:   StatusError{Code: 429, ErrCode: CodeOverloaded, Message: "queue full", Retryable: true},
+		},
+		{
+			name:   "503 degraded retryable",
+			status: http.StatusServiceUnavailable,
+			body:   ErrorBody{Code: CodeDegraded, Message: "all shards failed", Retryable: true},
+			want:   StatusError{Code: 503, ErrCode: CodeDegraded, Message: "all shards failed", Retryable: true},
+		},
+		{
+			// An empty code is filled from the status before it hits the wire.
+			name:   "404 code derived from status",
+			status: http.StatusNotFound,
+			body:   ErrorBody{Message: "no such model"},
+			want:   StatusError{Code: 404, ErrCode: CodeNotFound, Message: "no such model"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			WriteError(rec, tc.status, tc.body)
+			if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("envelope content type %q", ct)
+			}
+			err := statusError(rec.Code, rec.Body.Bytes())
+			var se *StatusError
+			if !errors.As(err, &se) {
+				t.Fatalf("decode produced %T", err)
+			}
+			if *se != tc.want {
+				t.Fatalf("round trip changed the error:\n  wrote %+v\n  read  %+v", tc.want, *se)
+			}
+		})
+	}
+}
+
+// TestWriteStatusErrorForwarding checks the router's forwarding path: a
+// decoded shard *StatusError is re-written verbatim (even wrapped), and
+// anything untyped collapses to 500/internal.
+func TestWriteStatusErrorForwarding(t *testing.T) {
+	orig := &StatusError{Code: 429, ErrCode: CodeOverloaded, Message: "shed", Retryable: true}
+	rec := httptest.NewRecorder()
+	WriteStatusError(rec, fmt.Errorf("shard 2: %w", orig))
+	err := statusError(rec.Code, rec.Body.Bytes())
+	var se *StatusError
+	if !errors.As(err, &se) || *se != *orig {
+		t.Fatalf("forwarded error mutated: %v", err)
+	}
+
+	rec = httptest.NewRecorder()
+	WriteStatusError(rec, errors.New("disk on fire"))
+	err = statusError(rec.Code, rec.Body.Bytes())
+	if !errors.As(err, &se) || se.Code != 500 || se.ErrCode != CodeInternal || se.Retryable {
+		t.Fatalf("untyped error not collapsed to 500/internal: %v", err)
+	}
+}
+
+// TestStatusErrorLegacyDecode checks the client degrades cleanly against
+// pre-envelope servers and non-dmsapi intermediaries: the flat
+// {"error": "..."} shape and raw text bodies still decode, with code and
+// retryability derived from the HTTP status.
+func TestStatusErrorLegacyDecode(t *testing.T) {
+	err := statusError(http.StatusConflict, []byte(`{"error":"model exists"}`))
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("legacy decode produced %T", err)
+	}
+	if se.ErrCode != CodeConflict || se.Message != "model exists" || se.Retryable {
+		t.Fatalf("legacy flat decode: %+v", se)
+	}
+
+	err = statusError(http.StatusServiceUnavailable, []byte("upstream connect error\n"))
+	if !errors.As(err, &se) {
+		t.Fatalf("raw decode produced %T", err)
+	}
+	if se.ErrCode != CodeUnavailable || se.Message != "upstream connect error" || !se.Retryable {
+		t.Fatalf("raw body decode: %+v", se)
+	}
+}
+
+// TestStatusErrorSentinels checks errors.Is classification, including
+// legacy responses that only carry a status.
+func TestStatusErrorSentinels(t *testing.T) {
+	cases := []struct {
+		err      *StatusError
+		sentinel error
+	}{
+		{&StatusError{Code: 404, ErrCode: CodeNotFound}, ErrNotFound},
+		{&StatusError{Code: 409, ErrCode: CodeNotFitted}, ErrNotFitted},
+		{&StatusError{Code: 409, ErrCode: CodeConflict}, ErrDuplicateModel},
+		{&StatusError{Code: 429, ErrCode: CodeOverloaded}, ErrOverloaded},
+		{&StatusError{Code: 503, ErrCode: CodeUnavailable}, ErrUnavailable},
+		{&StatusError{Code: 503, ErrCode: CodeDegraded}, ErrUnavailable},
+		// Legacy: status only, derived code.
+		{&StatusError{Code: 404, ErrCode: CodeInternal}, ErrNotFound},
+		{&StatusError{Code: 429, ErrCode: CodeInternal}, ErrOverloaded},
+	}
+	for _, tc := range cases {
+		if !errors.Is(tc.err, tc.sentinel) {
+			t.Errorf("%+v does not match %v", tc.err, tc.sentinel)
+		}
+	}
+	if errors.Is(&StatusError{Code: 409, ErrCode: CodeNotFitted}, ErrDuplicateModel) {
+		t.Error("not_fitted must not look like a duplicate-model conflict")
+	}
+}
+
+// TestNewClientOptions covers the functional-option constructor: options
+// compose over defaults, and the deprecated ClientConfig path still
+// builds a working client.
+func TestNewClientOptions(t *testing.T) {
+	srv, _ := startServer(t, ServerConfig{})
+	addr := srv.Addr()
+
+	c, err := NewClient(addr,
+		WithRetry(1, 5*time.Millisecond),
+		WithTimeout(5*time.Second),
+		WithPool(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The deprecated struct path is still wired through.
+	legacy, err := DialConfig(addr, ClientConfig{Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(legacy.Close)
+	if err := legacy.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientSeedFailover checks WithSeeds: a client dialed at a dead
+// address rotates to a live seed on the transport failure and the
+// request succeeds — the cluster-deployment story for surviving a dead
+// router.
+func TestClientSeedFailover(t *testing.T) {
+	srv, _ := startServer(t, ServerConfig{})
+	live := srv.Addr()
+
+	// 127.0.0.1:1 refuses connections immediately; WithoutPing defers the
+	// first contact to the request itself.
+	c, err := NewClient("127.0.0.1:1",
+		WithoutPing(),
+		WithSeeds(live),
+		WithRetry(2, time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	h, err := c.Health()
+	if err != nil {
+		t.Fatalf("seed failover did not recover the request: %v", err)
+	}
+	if h.Status == "" {
+		t.Fatal("failover health response is empty")
+	}
+}

@@ -164,16 +164,24 @@ func (m *endpointMetrics) observe(d time.Duration, failed bool) {
 	m.hist.Record(d)
 }
 
-// httpError carries a status code through handler returns.
+// httpError carries a status and envelope code through handler returns.
 type httpError struct {
-	code int
-	msg  string
+	code    int
+	errCode ErrorCode
+	msg     string
 }
 
 func (e *httpError) Error() string { return e.msg }
 
+// errf builds a handler error whose envelope code is derived from the
+// HTTP status; errc is the variant for statuses with more than one
+// meaning (409 is conflict or not_fitted).
 func errf(code int, format string, args ...any) error {
-	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+	return &httpError{code: code, errCode: codeForStatus(code), msg: fmt.Sprintf(format, args...)}
+}
+
+func errc(code int, errCode ErrorCode, format string, args ...any) error {
+	return &httpError{code: code, errCode: errCode, msg: fmt.Sprintf(format, args...)}
 }
 
 // NewServer validates the config and builds the routing table; call Listen
@@ -218,6 +226,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.route("POST "+PathLookup, "data.lookup", true, s.handleLookup)
 	s.route("POST "+PathNearest, "data.nearest", true, s.handleNearest)
 	s.route("POST "+PathPDF, "data.pdf", true, s.handlePDF)
+	s.route("POST "+PathFit, "data.fit", true, s.handleFit)
+	s.route("POST "+PathSamples, "data.samples", true, s.handleSamples)
+	s.route("POST "+PathClusterIDs, "data.ids", true, s.handleClusterIDs)
 	s.route("POST "+PathModels, "models.add", true, s.handleAddModel)
 	s.route("GET "+PathModels, "models.list", true, s.handleListModels)
 	s.route("POST "+PathRecommend, "models.recommend", true, s.handleRecommend)
@@ -417,7 +428,7 @@ func (s *Server) route(pattern, name string, shed bool, h func(w http.ResponseWr
 				defer func() { <-s.sem }()
 			default:
 				s.shed.Add(1)
-				writeError(w, http.StatusTooManyRequests, "server at max in-flight requests")
+				writeError(w, http.StatusTooManyRequests, CodeOverloaded, "server at max in-flight requests")
 				return
 			}
 		}
@@ -456,15 +467,15 @@ func (s *Server) route(pattern, name string, shed bool, h func(w http.ResponseWr
 			}
 		}
 		if err != nil {
-			code := http.StatusInternalServerError
+			code, errCode := http.StatusInternalServerError, CodeInternal
 			var he *httpError
 			if errors.As(err, &he) {
-				code = he.code
+				code, errCode = he.code, he.errCode
 			}
 			if s.cfg.Logger != nil {
 				s.cfg.Logger.Printf("dmsapi: %s %s: %d %v", r.Method, r.URL.Path, code, err)
 			}
-			writeError(w, code, err.Error())
+			writeError(w, code, errCode, err.Error())
 		}
 	})
 }
@@ -792,8 +803,15 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	var exclude map[string]bool
+	if len(req.Exclude) > 0 {
+		exclude = make(map[string]bool, len(req.Exclude))
+		for _, id := range req.Exclude {
+			exclude[id] = true
+		}
+	}
 	s.dsMu.RLock()
-	matches, err := s.cfg.DS.NearestMatchesContext(r.Context(), samples, req.Distinct)
+	matches, err := s.cfg.DS.NearestMatchesExcluding(r.Context(), samples, req.Distinct, exclude)
 	s.dsMu.RUnlock()
 	if err != nil {
 		return serviceError(err)
@@ -840,6 +858,86 @@ func (s *Server) handlePDF(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, v)
 }
 
+// handleFit explicitly fits the clustering model — the cluster router's
+// coordinated bootstrap: every shard is fitted on the same full batch
+// (and the shards share an embedder seed), so the replicated models
+// agree and scatter-gather reductions stay exact. Idempotent: a fitted
+// service reports its K and does nothing.
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) error {
+	var req FitRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		return err
+	}
+	if req.K <= 0 {
+		return errf(http.StatusBadRequest, "fit: k must be positive, got %d", req.K)
+	}
+	samples, err := decodeSamples(req.Samples)
+	if err != nil {
+		return err
+	}
+	s.dsMu.Lock()
+	defer s.dsMu.Unlock()
+	if k := s.cfg.DS.K(); k > 0 {
+		return writeJSON(w, FitResponse{K: k})
+	}
+	x, err := fairds.Collate(samples)
+	if err != nil {
+		return errf(http.StatusBadRequest, "fit: %v", err)
+	}
+	if err := s.cfg.DS.FitClustersK(x, req.K); err != nil {
+		return serviceError(err)
+	}
+	s.clusterK.Store(int64(s.cfg.DS.K()))
+	s.clusterGen.Add(1)
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("dmsapi: fit %d clusters on a %d-sample batch (explicit)", req.K, len(samples))
+	}
+	return writeJSON(w, FitResponse{K: s.cfg.DS.K(), Fitted: true})
+}
+
+// handleSamples fetches stored samples by ID — the cluster router's
+// lookup merge retrieves each shard's contribution through this.
+func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) error {
+	var req SamplesRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		return err
+	}
+	if len(req.IDs) == 0 {
+		return errf(http.StatusBadRequest, "samples: empty id list")
+	}
+	s.dsMu.RLock()
+	samples, missing, err := s.cfg.DS.SamplesByIDContext(r.Context(), req.IDs, req.Partial)
+	s.dsMu.RUnlock()
+	if err != nil {
+		if !req.Partial {
+			// A miss on the strict path is the caller naming an unknown
+			// document, not a server fault.
+			return errf(http.StatusNotFound, "samples: %v", err)
+		}
+		return serviceError(err)
+	}
+	return writeJSON(w, SamplesResponse{Samples: FromCodecSlice(samples), Missing: missing})
+}
+
+// handleClusterIDs lists one cluster's document IDs (sorted) — the
+// candidate-gathering half of the router's lookup merge.
+func (s *Server) handleClusterIDs(w http.ResponseWriter, r *http.Request) error {
+	var req ClusterIDsRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		return err
+	}
+	if req.Cluster < 0 {
+		return errf(http.StatusBadRequest, "ids: negative cluster %d", req.Cluster)
+	}
+	s.dsMu.RLock()
+	ids, err := s.cfg.DS.ClusterDocIDs(r.Context(), req.Cluster)
+	s.dsMu.RUnlock()
+	if err != nil {
+		return serviceError(err)
+	}
+	return writeJSON(w, ClusterIDsResponse{IDs: ids})
+}
+
 // ---------------------------------------------------------------------------
 // Model-plane handlers
 
@@ -859,7 +957,7 @@ func (s *Server) handleAddModel(w http.ResponseWriter, r *http.Request) error {
 		// Only a duplicate ID is a conflict; everything else Add rejects
 		// (empty ID, invalid PDF) is a malformed request.
 		if errors.Is(err, fairms.ErrDuplicateID) {
-			return errf(http.StatusConflict, "%v", err)
+			return errc(http.StatusConflict, CodeConflict, "%v", err)
 		}
 		return errf(http.StatusBadRequest, "%v", err)
 	}
@@ -948,7 +1046,7 @@ func (s *Server) handleTrainSubmit(w http.ResponseWriter, r *http.Request) error
 		return err
 	}
 	if s.clusterK.Load() == 0 {
-		return errf(http.StatusConflict, "train: %v", fairds.ErrNotFitted)
+		return errc(http.StatusConflict, CodeNotFitted, "train: %v", fairds.ErrNotFitted)
 	}
 	spec := trainer.Spec{
 		Dataset:     req.Dataset,
@@ -1100,7 +1198,7 @@ func serviceError(err error) error {
 		return err
 	}
 	if errors.Is(err, fairds.ErrNotFitted) {
-		return errf(http.StatusConflict, "%v", err)
+		return errc(http.StatusConflict, CodeNotFitted, "%v", err)
 	}
 	return errf(http.StatusInternalServerError, "%v", err)
 }
@@ -1157,10 +1255,12 @@ func writeJSON(w http.ResponseWriter, v any) error {
 	return json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+// writeError writes the unified error envelope with retryability derived
+// from the status. All non-2xx responses leave through here (or through
+// the exported WriteError it delegates to — the errboundary analyzer
+// enforces that).
+func writeError(w http.ResponseWriter, code int, errCode ErrorCode, msg string) {
+	WriteError(w, code, ErrorBody{Code: errCode, Message: msg, Retryable: retryableStatus(code)})
 }
 
 func bodyHash(body []byte) string {

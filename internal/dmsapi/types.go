@@ -34,6 +34,9 @@ const (
 	PathLookup      = "/v1/data/lookup"
 	PathNearest     = "/v1/data/nearest"
 	PathPDF         = "/v1/data/pdf"
+	PathFit         = "/v1/data/clusters:fit"
+	PathSamples     = "/v1/data/samples"
+	PathClusterIDs  = "/v1/data/ids"
 	PathModels      = "/v1/models"
 	PathRecommend   = "/v1/models/recommend"
 	PathCheckpoint  = "/v1/models/{id}/checkpoint"
@@ -129,9 +132,13 @@ type CertaintyRequest struct {
 	Threshold float64  `json:"threshold"`
 }
 
-// CertaintyResponse carries the certainty in [0, 1].
+// CertaintyResponse carries the certainty in [0, 1]. Degraded is set only
+// by a cluster router: the value was computed without every shard's
+// answer (the clustering model is replicated, so the value itself is
+// still exact — the flag records reduced confirmation).
 type CertaintyResponse struct {
 	Certainty float64 `json:"certainty"`
+	Degraded  bool    `json:"degraded,omitempty"`
 }
 
 // LookupRequest is the body of POST /v1/data/lookup: unlabeled samples for
@@ -140,17 +147,24 @@ type LookupRequest struct {
 	Samples []Sample `json:"samples"`
 }
 
-// LookupResponse returns the retrieved labeled samples.
+// LookupResponse returns the retrieved labeled samples. Degraded is set
+// only by a cluster router when one or more shards could not contribute
+// candidates — the result is drawn from the surviving partitions.
 type LookupResponse struct {
-	Samples []Sample `json:"samples"`
+	Samples  []Sample `json:"samples"`
+	Degraded bool     `json:"degraded,omitempty"`
 }
 
 // NearestRequest is the body of POST /v1/data/nearest: per-sample
 // nearest-labeled-neighbor matching. With Distinct, each historical
-// document is matched at most once (greedy, in input order).
+// document is matched at most once (greedy, in input order). Exclude
+// lists document IDs that must not be matched — the wire form of the
+// in-process exclusion predicate, and what lets a cluster router resolve
+// distinct matches across shards iteratively.
 type NearestRequest struct {
 	Samples  []Sample `json:"samples"`
 	Distinct bool     `json:"distinct,omitempty"`
+	Exclude  []string `json:"exclude,omitempty"`
 }
 
 // Match is one nearest-neighbor result. Found is false when the sample's
@@ -162,9 +176,12 @@ type Match struct {
 	Found bool    `json:"found"`
 }
 
-// NearestResponse returns one match per input sample, in order.
+// NearestResponse returns one match per input sample, in order. Degraded
+// is set only by a cluster router when a shard's candidates were missing
+// from the merge — matches are then minima over the surviving shards.
 type NearestResponse struct {
-	Matches []Match `json:"matches"`
+	Matches  []Match `json:"matches"`
+	Degraded bool    `json:"degraded,omitempty"`
 }
 
 // PDFRequest is the body of POST /v1/data/pdf: compute the cluster
@@ -175,9 +192,57 @@ type PDFRequest struct {
 }
 
 // PDFResponse carries the dataset PDF over the service's K clusters.
+// Degraded mirrors CertaintyResponse.Degraded.
 type PDFResponse struct {
-	PDF []float64 `json:"pdf"`
-	K   int       `json:"k"`
+	PDF      []float64 `json:"pdf"`
+	K        int       `json:"k"`
+	Degraded bool      `json:"degraded,omitempty"`
+}
+
+// FitRequest is the body of POST /v1/data/clusters:fit: explicitly fit
+// the clustering model with K clusters on the given samples. A cluster
+// router uses it to fit every shard on the same bootstrap batch, so the
+// replicated models agree bit-for-bit (all shards sharing a seed).
+// Fitting an already-fitted service is a no-op.
+type FitRequest struct {
+	Samples []Sample `json:"samples"`
+	K       int      `json:"k"`
+}
+
+// FitResponse reports the service's cluster count after the call. Fitted
+// is true when this request performed the fit (false: it was a no-op on
+// an already-fitted service).
+type FitResponse struct {
+	K      int  `json:"k"`
+	Fitted bool `json:"fitted"`
+}
+
+// SamplesRequest is the body of POST /v1/data/samples: fetch stored
+// samples by document ID. With Partial, unknown IDs are reported in the
+// response instead of failing the call.
+type SamplesRequest struct {
+	IDs     []string `json:"ids"`
+	Partial bool     `json:"partial,omitempty"`
+}
+
+// SamplesResponse returns the fetched samples aligned with the request
+// IDs that resolved (request order, misses skipped); Missing lists the
+// IDs that did not resolve (Partial mode only).
+type SamplesResponse struct {
+	Samples []Sample `json:"samples"`
+	Missing []string `json:"missing,omitempty"`
+}
+
+// ClusterIDsRequest is the body of POST /v1/data/ids: list the document
+// IDs assigned to one cluster. The cluster router's lookup merge gathers
+// per-shard candidate sets through this endpoint.
+type ClusterIDsRequest struct {
+	Cluster int `json:"cluster"`
+}
+
+// ClusterIDsResponse returns the cluster's document IDs, sorted.
+type ClusterIDsResponse struct {
+	IDs []string `json:"ids"`
 }
 
 // AddModelRequest is the body of POST /v1/models: register a checkpoint
@@ -214,11 +279,13 @@ type RecommendRequest struct {
 
 // RecommendResponse names the best foundation model and its divergence.
 // OK is false when the zoo holds no compatible model or the best one is
-// beyond MaxJSD.
+// beyond MaxJSD. Degraded is set only by a cluster router when not every
+// zoo replica answered (the best model of the survivors is returned).
 type RecommendResponse struct {
-	ID  string  `json:"id,omitempty"`
-	JSD float64 `json:"jsd"`
-	OK  bool    `json:"ok"`
+	ID       string  `json:"id,omitempty"`
+	JSD      float64 `json:"jsd"`
+	OK       bool    `json:"ok"`
+	Degraded bool    `json:"degraded,omitempty"`
 }
 
 // TrainRequest is the body of POST /v1/train: submit an asynchronous
@@ -296,11 +363,6 @@ type HealthResponse struct {
 	K       int    `json:"k"`       // fitted cluster count (0 = awaiting bootstrap)
 	Models  int    `json:"models"`  // zoo entries
 	Samples int    `json:"samples"` // labeled samples in the data store
-}
-
-// ErrorResponse is the JSON body of every non-2xx response.
-type ErrorResponse struct {
-	Error string `json:"error"`
 }
 
 // Stats is the body of GET /statsz: a point-in-time snapshot of server

@@ -1,0 +1,414 @@
+package dmscluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"fairdms/internal/dmsapi"
+	"fairdms/internal/hdrhist"
+	"fairdms/internal/obs"
+)
+
+// Router serves the dmsapi /v1 surface over HTTP on top of a Cluster:
+// the standalone routing tier (cmd/dmsrouter) for callers that cannot
+// embed the smart client. Handlers are thin — every routing decision
+// and merge lives on Cluster — plus the router's own observability:
+// /statsz with per-node health and the membership epoch, /metricsz in
+// Prometheus text form, and X-Dms-Trace propagation so a sampled client
+// sees one contiguous span tree across client, router, and shards.
+type Router struct {
+	cluster *Cluster
+	logger  *log.Logger
+	mux     *http.ServeMux
+	reg     *obs.Registry
+
+	start     time.Time
+	requests  atomic.Int64
+	metrics   map[string]*routeMetrics
+	epCount   *obs.CounterVec
+	epErrors  *obs.CounterVec
+	epLatency *obs.HistogramVec
+
+	lis  net.Listener
+	http *http.Server
+}
+
+type routeMetrics struct {
+	count  *obs.Counter
+	errors *obs.Counter
+	hist   *hdrhist.Histogram
+}
+
+// RouterStats is the body of the router's GET /statsz.
+type RouterStats struct {
+	UptimeSeconds float64                        `json:"uptime_seconds"`
+	Requests      int64                          `json:"requests"`
+	Cluster       ClusterStats                   `json:"cluster"`
+	Endpoints     map[string]RouterEndpointStats `json:"endpoints"`
+}
+
+// RouterEndpointStats is one endpoint's counters in RouterStats.
+type RouterEndpointStats struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// NewRouter builds the HTTP tier over an existing cluster client. The
+// caller owns the cluster's lifecycle (Start/Close).
+func NewRouter(c *Cluster, logger *log.Logger) *Router {
+	rt := &Router{
+		cluster: c,
+		logger:  logger,
+		mux:     http.NewServeMux(),
+		reg:     obs.NewRegistry(),
+		start:   time.Now(),
+		metrics: make(map[string]*routeMetrics),
+	}
+	rt.registerMetrics()
+
+	rt.route("POST "+dmsapi.PathIngest, "data.ingest", rt.handleIngest)
+	rt.route("POST "+dmsapi.PathIngestBatch, "data.ingest_batch", rt.handleIngestBatch)
+	rt.route("POST "+dmsapi.PathCertainty, "data.certainty", rt.handleCertainty)
+	rt.route("POST "+dmsapi.PathLookup, "data.lookup", rt.handleLookup)
+	rt.route("POST "+dmsapi.PathNearest, "data.nearest", rt.handleNearest)
+	rt.route("POST "+dmsapi.PathPDF, "data.pdf", rt.handlePDF)
+	rt.route("GET "+dmsapi.PathModels, "models.list", rt.handleModels)
+	rt.route("POST "+dmsapi.PathModels, "models.add", rt.handleAddModel)
+	rt.route("POST "+dmsapi.PathRecommend, "models.recommend", rt.handleRecommend)
+	rt.route("GET "+dmsapi.PathCheckpoint, "models.checkpoint", rt.handleCheckpoint)
+	rt.route("POST "+dmsapi.PathTrain, "train.submit", rt.handleTrainSubmit)
+	rt.route("GET "+dmsapi.PathTrain, "train.list", rt.handleTrainList)
+	rt.route("GET "+dmsapi.PathTrainJob, "train.get", rt.handleTrainGet)
+	rt.route("POST "+dmsapi.PathTrainJob, "train.cancel", rt.handleTrainCancel)
+	rt.route("GET "+dmsapi.PathHealth, "healthz", rt.handleHealth)
+	rt.route("GET "+dmsapi.PathStats, "statsz", rt.handleStats)
+	rt.route("GET "+dmsapi.PathMetrics, "metricsz", rt.handleMetrics)
+	return rt
+}
+
+func (rt *Router) registerMetrics() {
+	r := rt.reg
+	r.CounterFunc("dms_router_requests_total", "requests handled by the router", rt.requests.Load)
+	r.GaugeFunc("dms_router_shards", "configured shard count",
+		func() float64 { return float64(len(rt.cluster.nodes)) })
+	r.GaugeFunc("dms_router_healthy_shards", "shards currently admitted by health probing",
+		func() float64 { return float64(len(rt.cluster.healthyNodes())) })
+	r.CounterFunc("dms_router_membership_epoch", "membership health transitions since start",
+		rt.cluster.epoch.Load)
+	r.CounterFunc("dms_router_degraded_responses_total", "responses merged without every shard",
+		rt.cluster.degraded.Load)
+	r.CounterFunc("dms_router_reroutes_total", "ingest sub-batches rerouted off their hash owner",
+		rt.cluster.reroutes.Load)
+	rt.epCount = r.CounterVec("dms_router_endpoint_requests_total", "requests by endpoint", "endpoint")
+	rt.epErrors = r.CounterVec("dms_router_endpoint_errors_total", "error responses by endpoint", "endpoint")
+	rt.epLatency = r.HistogramVec("dms_router_endpoint_latency_seconds", "request latency by endpoint", "endpoint")
+}
+
+// route registers one handler with metrics and trace propagation. The
+// router rebuilds the inbound X-Dms-Trace as its own trace; per-shard
+// calls attach each shard's span trailer to it, so the trailer the
+// router sends back is the grafted router+shards subtree and the
+// client's joined trace shows all four tiers contiguously.
+func (rt *Router) route(pattern, name string, h func(w http.ResponseWriter, r *http.Request) error) {
+	m := &routeMetrics{
+		count:  rt.epCount.With(name),
+		errors: rt.epErrors.With(name),
+		hist:   rt.epLatency.With(name),
+	}
+	rt.metrics[name] = m
+	rt.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		rt.requests.Add(1)
+		m.count.Inc()
+
+		id, sampled := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+		var tr *obs.Trace
+		var root *obs.Span
+		if sampled {
+			tr = obs.NewTrace(id, sampled)
+			ctx := obs.NewContext(r.Context(), tr)
+			ctx, root = obs.StartSpan(ctx, "route")
+			r = r.WithContext(ctx)
+			w.Header().Set("Trailer", obs.SpanHeader)
+		}
+
+		begin := time.Now()
+		err := h(w, r)
+		root.End()
+		m.hist.Record(time.Since(begin))
+		if tr.Sampled() {
+			w.Header().Set(obs.SpanHeader, obs.EncodeDump(tr.Dump()))
+		}
+		if err != nil {
+			m.errors.Inc()
+			if rt.logger != nil {
+				rt.logger.Printf("dmsrouter: %s %s: %v", r.Method, r.URL.Path, err)
+			}
+			dmsapi.WriteStatusError(w, err)
+		}
+	})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return &dmsapi.StatusError{
+			Code: http.StatusBadRequest, ErrCode: dmsapi.CodeBadRequest,
+			Message: "invalid request body: " + err.Error(),
+		}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) error {
+	var req dmsapi.IngestRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	// The non-batch endpoint is all-or-nothing on a single node; the
+	// router preserves that contract over the batch-shaped scatter.
+	resp, err := rt.cluster.Ingest(r.Context(), dmsapi.IngestBatchRequest{Dataset: req.Dataset, Samples: req.Samples})
+	if err != nil {
+		return err
+	}
+	if len(resp.Errors) > 0 {
+		return &dmsapi.StatusError{
+			Code: http.StatusBadRequest, ErrCode: dmsapi.CodeBadRequest,
+			Message: resp.Errors[0].Error,
+		}
+	}
+	return writeJSON(w, dmsapi.IngestResponse{IDs: resp.IDs})
+}
+
+func (rt *Router) handleIngestBatch(w http.ResponseWriter, r *http.Request) error {
+	var req dmsapi.IngestBatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	resp, err := rt.cluster.Ingest(r.Context(), req)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, resp)
+}
+
+func (rt *Router) handleCertainty(w http.ResponseWriter, r *http.Request) error {
+	var req dmsapi.CertaintyRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	resp, err := rt.cluster.Certainty(r.Context(), req)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, resp)
+}
+
+func (rt *Router) handleLookup(w http.ResponseWriter, r *http.Request) error {
+	var req dmsapi.LookupRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	resp, err := rt.cluster.Lookup(r.Context(), req)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, resp)
+}
+
+func (rt *Router) handleNearest(w http.ResponseWriter, r *http.Request) error {
+	var req dmsapi.NearestRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	resp, err := rt.cluster.Nearest(r.Context(), req)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, resp)
+}
+
+func (rt *Router) handlePDF(w http.ResponseWriter, r *http.Request) error {
+	var req dmsapi.PDFRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	resp, err := rt.cluster.PDF(r.Context(), req)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, resp)
+}
+
+func (rt *Router) handleModels(w http.ResponseWriter, r *http.Request) error {
+	resp, err := rt.cluster.Models(r.Context())
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, resp)
+}
+
+func (rt *Router) handleAddModel(w http.ResponseWriter, r *http.Request) error {
+	var req dmsapi.AddModelRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	resp, err := rt.cluster.AddModel(r.Context(), req)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, resp)
+}
+
+func (rt *Router) handleRecommend(w http.ResponseWriter, r *http.Request) error {
+	var req dmsapi.RecommendRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	resp, err := rt.cluster.Recommend(r.Context(), req)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, resp)
+}
+
+func (rt *Router) handleCheckpoint(w http.ResponseWriter, r *http.Request) error {
+	blob, err := rt.cluster.Checkpoint(r.Context(), r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, err = w.Write(blob)
+	return err
+}
+
+func (rt *Router) handleTrainSubmit(w http.ResponseWriter, r *http.Request) error {
+	var req dmsapi.TrainRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	job, err := rt.cluster.SubmitTrain(r.Context(), req)
+	if err != nil {
+		return err
+	}
+	w.WriteHeader(http.StatusAccepted)
+	return writeJSON(w, job)
+}
+
+func (rt *Router) handleTrainList(w http.ResponseWriter, r *http.Request) error {
+	resp, err := rt.cluster.TrainJobs(r.Context())
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, resp)
+}
+
+func (rt *Router) handleTrainGet(w http.ResponseWriter, r *http.Request) error {
+	job, err := rt.cluster.TrainJob(r.Context(), r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, job)
+}
+
+// handleTrainCancel serves POST /v1/train/{id}:cancel. Like the dmsapi
+// server, the wildcard spans the whole segment and the ":cancel" action
+// suffix is peeled off here.
+func (rt *Router) handleTrainCancel(w http.ResponseWriter, r *http.Request) error {
+	id, ok := strings.CutSuffix(r.PathValue("id"), ":cancel")
+	if !ok {
+		return &dmsapi.StatusError{
+			Code: http.StatusNotFound, ErrCode: dmsapi.CodeNotFound,
+			Message: fmt.Sprintf("train: POST %s is not an action (want {id}:cancel)", r.URL.Path),
+		}
+	}
+	job, err := rt.cluster.CancelTrain(r.Context(), id)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, job)
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) error {
+	resp, err := rt.cluster.Health(r.Context())
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, resp)
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) error {
+	st := RouterStats{
+		UptimeSeconds: time.Since(rt.start).Seconds(),
+		Requests:      rt.requests.Load(),
+		Cluster:       rt.cluster.Stats(),
+		Endpoints:     make(map[string]RouterEndpointStats, len(rt.metrics)),
+	}
+	for name, m := range rt.metrics {
+		snap := m.hist.Snapshot()
+		st.Endpoints[name] = RouterEndpointStats{
+			Count:  m.count.Value(),
+			Errors: m.errors.Value(),
+			P50MS:  float64(snap.Quantile(0.50)) / float64(time.Millisecond),
+			P99MS:  float64(snap.Quantile(0.99)) / float64(time.Millisecond),
+			MaxMS:  float64(snap.Max()) / float64(time.Millisecond),
+		}
+	}
+	return writeJSON(w, st)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := rt.reg.WritePrometheus(w); err != nil {
+		// obs surfaces report ErrDisabled for switched-off subsystems;
+		// map it to 404 at the boundary like dmsd does.
+		if errors.Is(err, obs.ErrDisabled) {
+			return &dmsapi.StatusError{Code: http.StatusNotFound, ErrCode: dmsapi.CodeNotFound, Message: err.Error()}
+		}
+		return &dmsapi.StatusError{Code: http.StatusInternalServerError, ErrCode: dmsapi.CodeInternal, Message: "metrics export: " + err.Error()}
+	}
+	return nil
+}
+
+// Handler exposes the routing table (e.g. for httptest).
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Listen binds to addr and serves in a background goroutine, returning
+// the bound address.
+func (rt *Router) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	rt.lis = lis
+	rt.http = &http.Server{
+		Handler:           rt.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go rt.http.Serve(lis)
+	return lis.Addr().String(), nil
+}
+
+// Shutdown gracefully stops the HTTP tier (the cluster's lifecycle is
+// the caller's).
+func (rt *Router) Shutdown(ctx context.Context) error {
+	if rt.http == nil {
+		return nil
+	}
+	return rt.http.Shutdown(ctx)
+}

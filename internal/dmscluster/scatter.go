@@ -1,0 +1,900 @@
+package dmscluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"fairdms/internal/dmsapi"
+	"fairdms/internal/fairds"
+	"fairdms/internal/obs"
+	"fairdms/internal/stats"
+)
+
+// shardResult is one shard's answer to a fan-out call.
+type shardResult[T any] struct {
+	node *node
+	val  T
+	err  error
+}
+
+// fanOut runs f against every node concurrently and collects the
+// results. Transport-level failures are charged against the shard's
+// health; status responses are not (the shard answered).
+func fanOut[T any](c *Cluster, ctx context.Context, nodes []*node, f func(context.Context, *node) (T, error)) []shardResult[T] {
+	out := make([]shardResult[T], len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			v, err := f(ctx, n)
+			if err != nil {
+				c.shardFailure(n, err)
+			} else {
+				c.noteSuccess(n)
+			}
+			out[i] = shardResult[T]{node: n, val: v, err: err}
+		}(i, n)
+	}
+	wg.Wait()
+	return out
+}
+
+// splitResults separates a fan-out into successes and failures.
+func splitResults[T any](rs []shardResult[T]) (ok []shardResult[T], failed []shardResult[T]) {
+	for _, r := range rs {
+		if r.err == nil {
+			ok = append(ok, r)
+		} else {
+			failed = append(failed, r)
+		}
+	}
+	return ok, failed
+}
+
+// mergeFailure turns an all-shards-failed fan-out into the error the
+// caller should see: a shard's own status response passes through
+// verbatim (so 409/429/503 round-trip losslessly), and pure transport
+// failure becomes a retryable 503.
+func mergeFailure[T any](failed []shardResult[T], op string) error {
+	for _, r := range failed {
+		var se *dmsapi.StatusError
+		if errors.As(r.err, &se) {
+			return r.err
+		}
+	}
+	msg := op + ": every shard failed"
+	if len(failed) > 0 {
+		msg = fmt.Sprintf("%s: every shard failed (shard %d: %v)", op, failed[0].node.idx, failed[0].err)
+	}
+	return &dmsapi.StatusError{
+		Code:      http.StatusServiceUnavailable,
+		ErrCode:   dmsapi.CodeDegraded,
+		Message:   msg,
+		Retryable: true,
+	}
+}
+
+// errNoShards is the response when the healthy set is empty.
+func errNoShards(op string) error {
+	return &dmsapi.StatusError{
+		Code:      http.StatusServiceUnavailable,
+		ErrCode:   dmsapi.CodeUnavailable,
+		Message:   op + ": no healthy shard",
+		Retryable: true,
+	}
+}
+
+// noteDegraded flags a merged response assembled without every shard.
+func (c *Cluster) noteDegraded() { c.degraded.Add(1) }
+
+// partial reports whether a fan-out over nodes with the given failure
+// count covered less than the full membership: either a shard failed
+// mid-request, or one was already ejected and never asked. Both mean
+// the merge may be missing that shard's documents, so the response
+// carries the Degraded flag.
+func (c *Cluster) partial(nodes []*node, failed int) bool {
+	return failed > 0 || len(nodes) < len(c.nodes)
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap
+
+// ensureFitted runs the coordinated bootstrap: the first ingest batch
+// fits every healthy shard's clustering model on the same full batch
+// through the idempotent clusters:fit endpoint. All shards share an
+// embedder/k-means seed, so the replicated models agree and every
+// scatter-gather reduction over them is exact. Serialized on bootMu —
+// one router instance coordinates a given cluster's bootstrap (see
+// docs/ARCHITECTURE.md for the multi-router caveat).
+func (c *Cluster) ensureFitted(ctx context.Context, samples []dmsapi.Sample) error {
+	if c.fitted.Load() || c.cfg.BootstrapK <= 0 {
+		return nil
+	}
+	c.bootMu.Lock()
+	defer c.bootMu.Unlock()
+	if c.fitted.Load() {
+		return nil
+	}
+	nodes := c.healthyNodes()
+	if len(nodes) == 0 {
+		return errNoShards("fit")
+	}
+	ctx, sp := obs.StartSpan(ctx, "cluster_fit")
+	defer sp.End()
+	req := dmsapi.FitRequest{Samples: samples, K: c.cfg.BootstrapK}
+	rs := fanOut(c, ctx, nodes, func(ctx context.Context, n *node) (dmsapi.FitResponse, error) {
+		var out dmsapi.FitResponse
+		err := n.client.DoJSON(ctx, "POST", dmsapi.PathFit, req, &out)
+		return out, err
+	})
+	ok, failed := splitResults(rs)
+	if len(ok) == 0 {
+		return mergeFailure(failed, "fit")
+	}
+	// Shards that missed the bootstrap (transport failure) stay ejected
+	// until they answer probes again; they will hold an unfitted model
+	// and answer not_fitted, which fan-out reads tolerate as a degraded
+	// merge. Static membership means no automatic re-fit — see the
+	// rebalance caveats in docs/ARCHITECTURE.md.
+	if len(failed) > 0 && c.cfg.Logger != nil {
+		c.cfg.Logger.Printf("dmscluster: bootstrap fit reached %d/%d shards", len(ok), len(nodes))
+	}
+	c.fitted.Store(true)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Ingest (hash-routed)
+
+// Ingest routes a batch across shards by content hash with per-shard
+// sub-batching. A dead owner is routed around (ring successor); a
+// sub-batch whose shard dies mid-request is rerouted once to the next
+// healthy shard. Per-document failures ride the response's Errors array
+// exactly like the single-node batch endpoint.
+func (c *Cluster) Ingest(ctx context.Context, req dmsapi.IngestBatchRequest) (dmsapi.IngestBatchResponse, error) {
+	resp := dmsapi.IngestBatchResponse{IDs: make([]string, len(req.Samples))}
+	if len(req.Samples) == 0 {
+		return resp, &dmsapi.StatusError{
+			Code: http.StatusBadRequest, ErrCode: dmsapi.CodeBadRequest,
+			Message: "ingest-batch: empty sample batch",
+		}
+	}
+	if err := c.ensureFitted(ctx, req.Samples); err != nil {
+		return resp, err
+	}
+
+	// Partition positions by the first healthy shard on each document's
+	// successor list (fail-open around ejected owners).
+	groups := make(map[int][]int)
+	for i := range req.Samples {
+		key := ContentKey(req.Samples[i].Data, req.Samples[i].Label)
+		target := -1
+		for _, si := range c.ring.Successors(key) {
+			if c.nodes[si].healthy.Load() {
+				target = si
+				break
+			}
+		}
+		if target < 0 {
+			return resp, errNoShards("ingest")
+		}
+		groups[target] = append(groups[target], i)
+	}
+
+	ctx, sp := obs.StartSpan(ctx, "scatter_ingest")
+	defer sp.End()
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for target, positions := range groups {
+		wg.Add(1)
+		go func(target int, positions []int) {
+			defer wg.Done()
+			sub := dmsapi.IngestBatchRequest{Dataset: req.Dataset, Samples: make([]dmsapi.Sample, len(positions))}
+			for j, pos := range positions {
+				sub.Samples[j] = req.Samples[pos]
+			}
+			out, err := c.sendSubBatch(ctx, target, sub)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				// The whole sub-batch failed (both attempts): per-doc errors,
+				// batch semantics preserved.
+				for _, pos := range positions {
+					resp.Errors = append(resp.Errors, dmsapi.DocError{Index: pos, Error: err.Error()})
+				}
+				return
+			}
+			for j, id := range out.IDs {
+				resp.IDs[positions[j]] = id
+			}
+			for _, de := range out.Errors {
+				resp.Errors = append(resp.Errors, dmsapi.DocError{Index: positions[de.Index], Error: de.Error})
+			}
+		}(target, positions)
+	}
+	wg.Wait()
+	sort.Slice(resp.Errors, func(i, j int) bool { return resp.Errors[i].Index < resp.Errors[j].Index })
+	for _, id := range resp.IDs {
+		if id != "" {
+			resp.Inserted++
+		}
+	}
+	return resp, nil
+}
+
+// sendSubBatch sends one shard's sub-batch, rerouting once to the next
+// healthy shard on a transport-level failure (fail-open: the documents
+// land off their hash owner rather than being lost — content-hash
+// lookup never depends on placement, only ingest balance does).
+func (c *Cluster) sendSubBatch(ctx context.Context, target int, sub dmsapi.IngestBatchRequest) (dmsapi.IngestBatchResponse, error) {
+	var out dmsapi.IngestBatchResponse
+	n := c.nodes[target]
+	err := n.client.DoJSON(ctx, "POST", dmsapi.PathIngestBatch, sub, &out)
+	if err == nil {
+		c.noteSuccess(n)
+		return out, nil
+	}
+	c.shardFailure(n, err)
+	var se *dmsapi.StatusError
+	if errors.As(err, &se) {
+		return out, err // the shard answered; rerouting would duplicate semantics, not fix them
+	}
+	for off := 1; off < len(c.nodes); off++ {
+		alt := c.nodes[(target+off)%len(c.nodes)]
+		if !alt.healthy.Load() {
+			continue
+		}
+		c.reroutes.Add(1)
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.Printf("dmscluster: rerouting %d-doc sub-batch from shard %d to %d", len(sub.Samples), target, alt.idx)
+		}
+		if err2 := alt.client.DoJSON(ctx, "POST", dmsapi.PathIngestBatch, sub, &out); err2 == nil {
+			c.noteSuccess(alt)
+			return out, nil
+		} else {
+			c.shardFailure(alt, err2)
+			err = err2
+		}
+		break // one reroute hop: bounded work under cascading failure
+	}
+	return out, err
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out reads
+
+// Certainty scatters the certainty computation and reduces by mean. The
+// clustering model is replicated and the computation is model-only, so
+// every shard returns the same value — the reduction is exact, and a
+// partial-failure merge (Degraded=true) still is.
+func (c *Cluster) Certainty(ctx context.Context, req dmsapi.CertaintyRequest) (dmsapi.CertaintyResponse, error) {
+	nodes := c.healthyNodes()
+	if len(nodes) == 0 {
+		return dmsapi.CertaintyResponse{}, errNoShards("certainty")
+	}
+	ctx, sp := obs.StartSpan(ctx, "scatter_certainty")
+	defer sp.End()
+	rs := fanOut(c, ctx, nodes, func(ctx context.Context, n *node) (dmsapi.CertaintyResponse, error) {
+		var out dmsapi.CertaintyResponse
+		err := n.client.DoJSON(ctx, "POST", dmsapi.PathCertainty, req, &out)
+		return out, err
+	})
+	ok, failed := splitResults(rs)
+	if len(ok) == 0 {
+		return dmsapi.CertaintyResponse{}, mergeFailure(failed, "certainty")
+	}
+	var sum float64
+	for _, r := range ok {
+		sum += r.val.Certainty
+	}
+	resp := dmsapi.CertaintyResponse{Certainty: sum / float64(len(ok)), Degraded: c.partial(nodes, len(failed))}
+	if resp.Degraded {
+		c.noteDegraded()
+	}
+	return resp, nil
+}
+
+// PDF scatters the PDF computation and reduces by element-wise mean
+// (exact for agreeing replicated models, robust if a shard drifts).
+func (c *Cluster) PDF(ctx context.Context, req dmsapi.PDFRequest) (dmsapi.PDFResponse, error) {
+	nodes := c.healthyNodes()
+	if len(nodes) == 0 {
+		return dmsapi.PDFResponse{}, errNoShards("pdf")
+	}
+	ctx, sp := obs.StartSpan(ctx, "scatter_pdf")
+	defer sp.End()
+	rs := fanOut(c, ctx, nodes, func(ctx context.Context, n *node) (dmsapi.PDFResponse, error) {
+		var out dmsapi.PDFResponse
+		err := n.client.DoJSON(ctx, "POST", dmsapi.PathPDF, req, &out)
+		return out, err
+	})
+	ok, failed := splitResults(rs)
+	if len(ok) == 0 {
+		return dmsapi.PDFResponse{}, mergeFailure(failed, "pdf")
+	}
+	pdf := make([]float64, len(ok[0].val.PDF))
+	contrib := 0
+	for _, r := range ok {
+		if len(r.val.PDF) != len(pdf) {
+			continue // shard with a divergent K (missed bootstrap): skip
+		}
+		for i, p := range r.val.PDF {
+			pdf[i] += p
+		}
+		contrib++
+	}
+	for i := range pdf {
+		pdf[i] /= float64(contrib)
+	}
+	resp := dmsapi.PDFResponse{PDF: pdf, K: len(pdf), Degraded: c.partial(nodes, len(failed)) || contrib < len(ok)}
+	if resp.Degraded {
+		c.noteDegraded()
+	}
+	return resp, nil
+}
+
+// Nearest scatters nearest-neighbor matching and merges by per-sample
+// minimum distance — with replicated embedder and clustering models the
+// union of per-shard minima is exactly the single-node answer. Distinct
+// matching resolves iteratively: fan out without distinctness, commit
+// matches greedily in input order until the first intra-round conflict,
+// then re-query the unresolved tail with the committed document IDs
+// excluded. The committed prefix is provably what a single node's greedy
+// pass would produce, and each round commits at least one sample, so the
+// loop is bounded by the sample count (conflicts are rare in practice).
+func (c *Cluster) Nearest(ctx context.Context, req dmsapi.NearestRequest) (dmsapi.NearestResponse, error) {
+	nodes := c.healthyNodes()
+	if len(nodes) == 0 {
+		return dmsapi.NearestResponse{}, errNoShards("nearest")
+	}
+	ctx, sp := obs.StartSpan(ctx, "scatter_nearest")
+	defer sp.End()
+
+	out := make([]dmsapi.Match, len(req.Samples))
+	taken := make(map[string]bool, len(req.Exclude))
+	exclude := append([]string(nil), req.Exclude...)
+	for _, id := range req.Exclude {
+		taken[id] = true
+	}
+	pending := make([]int, len(req.Samples))
+	for i := range pending {
+		pending[i] = i
+	}
+	degraded := c.partial(nodes, 0)
+
+	for round := 0; len(pending) > 0; round++ {
+		if round > len(req.Samples) {
+			return dmsapi.NearestResponse{}, &dmsapi.StatusError{
+				Code: http.StatusInternalServerError, ErrCode: dmsapi.CodeInternal,
+				Message: "nearest: distinct merge failed to converge",
+			}
+		}
+		sub := dmsapi.NearestRequest{Samples: make([]dmsapi.Sample, len(pending)), Exclude: exclude}
+		for j, pos := range pending {
+			sub.Samples[j] = req.Samples[pos]
+		}
+		rs := fanOut(c, ctx, c.healthyNodes(), func(ctx context.Context, n *node) (dmsapi.NearestResponse, error) {
+			var o dmsapi.NearestResponse
+			err := n.client.DoJSON(ctx, "POST", dmsapi.PathNearest, sub, &o)
+			return o, err
+		})
+		ok, failed := splitResults(rs)
+		if len(ok) == 0 {
+			return dmsapi.NearestResponse{}, mergeFailure(failed, "nearest")
+		}
+		degraded = degraded || len(failed) > 0
+
+		// Per-sample minimum across shards.
+		best := make([]dmsapi.Match, len(pending))
+		for _, r := range ok {
+			if len(r.val.Matches) != len(pending) {
+				continue
+			}
+			for j, m := range r.val.Matches {
+				if m.Found && (!best[j].Found || m.Dist < best[j].Dist) {
+					best[j] = m
+				}
+			}
+		}
+
+		if !req.Distinct {
+			for j, pos := range pending {
+				out[pos] = best[j]
+			}
+			break
+		}
+
+		// Greedy prefix commit: stop at the first conflict within this
+		// round; everything after it re-queries with the grown exclusion.
+		conflictAt := -1
+		roundTaken := make(map[string]bool)
+		for j, pos := range pending {
+			m := best[j]
+			if !m.Found {
+				out[pos] = m
+				continue
+			}
+			if roundTaken[m.DocID] {
+				conflictAt = j
+				break
+			}
+			roundTaken[m.DocID] = true
+			taken[m.DocID] = true
+			exclude = append(exclude, m.DocID)
+			out[pos] = m
+		}
+		if conflictAt < 0 {
+			pending = nil
+		} else {
+			pending = pending[conflictAt:]
+		}
+	}
+
+	if degraded {
+		c.noteDegraded()
+	}
+	return dmsapi.NearestResponse{Matches: out, Degraded: degraded}, nil
+}
+
+// Lookup reproduces single-node lookup semantics across the partition:
+// compute the fan-out PDF, apportion the request size into per-cluster
+// counts exactly as one node would, gather each cluster's candidate IDs
+// from every shard, draw the count deterministically (seeded by cluster,
+// like the single-node sampler), and fetch each draw from the shard that
+// owns it. Per-cluster counts therefore match the single-node result on
+// the same corpus; the concrete IDs differ only by namespace.
+func (c *Cluster) Lookup(ctx context.Context, req dmsapi.LookupRequest) (dmsapi.LookupResponse, error) {
+	pdfResp, err := c.PDF(ctx, dmsapi.PDFRequest{Samples: req.Samples})
+	if err != nil {
+		return dmsapi.LookupResponse{}, err
+	}
+	counts := fairds.Apportion(stats.PDF(pdfResp.PDF), len(req.Samples))
+	degraded := pdfResp.Degraded
+
+	ctx, sp := obs.StartSpan(ctx, "scatter_lookup")
+	defer sp.End()
+
+	// Gather candidates per active cluster from every healthy shard,
+	// remembering which shard owns each ID.
+	type clusterSet struct {
+		ids   []string
+		owner map[string]*node
+	}
+	sets := make([]clusterSet, len(counts))
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	var anyShardFailed atomic.Bool
+	for k, want := range counts {
+		if want == 0 {
+			continue
+		}
+		sets[k].owner = make(map[string]*node)
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			rs := fanOut(c, ctx, c.healthyNodes(), func(ctx context.Context, n *node) (dmsapi.ClusterIDsResponse, error) {
+				var o dmsapi.ClusterIDsResponse
+				err := n.client.DoJSON(ctx, "POST", dmsapi.PathClusterIDs, dmsapi.ClusterIDsRequest{Cluster: k}, &o)
+				return o, err
+			})
+			ok, failed := splitResults(rs)
+			if len(failed) > 0 {
+				anyShardFailed.Store(true)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, r := range ok {
+				for _, id := range r.val.IDs {
+					if _, dup := sets[k].owner[id]; !dup {
+						sets[k].owner[id] = r.node
+						sets[k].ids = append(sets[k].ids, id)
+					}
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	degraded = degraded || anyShardFailed.Load()
+
+	// Draw each cluster's count deterministically and group the draws by
+	// owning shard for batched fetches.
+	perShard := make(map[*node][]string)
+	drawOrder := make([][]string, len(counts))
+	for k, want := range counts {
+		if want == 0 || len(sets[k].ids) == 0 {
+			continue
+		}
+		ids := sets[k].ids
+		sort.Strings(ids)
+		if want < len(ids) {
+			rng := rand.New(rand.NewSource(c.cfg.Seed + int64(k)))
+			rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+			ids = ids[:want]
+			sort.Strings(ids)
+		}
+		drawOrder[k] = ids
+		for _, id := range ids {
+			n := sets[k].owner[id]
+			perShard[n] = append(perShard[n], id)
+		}
+	}
+
+	// Fetch the draws from their owners.
+	fetched := make(map[string]dmsapi.Sample)
+	var fetchWG sync.WaitGroup
+	var fetchFailed atomic.Bool
+	for n, ids := range perShard {
+		fetchWG.Add(1)
+		go func(n *node, ids []string) {
+			defer fetchWG.Done()
+			var o dmsapi.SamplesResponse
+			err := n.client.DoJSON(ctx, "POST", dmsapi.PathSamples, dmsapi.SamplesRequest{IDs: ids, Partial: true}, &o)
+			if err != nil {
+				c.shardFailure(n, err)
+				fetchFailed.Store(true)
+				return
+			}
+			c.noteSuccess(n)
+			if len(o.Missing) > 0 {
+				fetchFailed.Store(true)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			// Partial mode skips misses, so align by walking the request
+			// IDs against the response order minus the missing set.
+			missing := make(map[string]bool, len(o.Missing))
+			for _, id := range o.Missing {
+				missing[id] = true
+			}
+			j := 0
+			for _, id := range ids {
+				if missing[id] {
+					continue
+				}
+				if j < len(o.Samples) {
+					fetched[id] = o.Samples[j]
+					j++
+				}
+			}
+		}(n, ids)
+	}
+	fetchWG.Wait()
+	degraded = degraded || fetchFailed.Load()
+
+	// Assemble in cluster order, sorted IDs within each cluster — the
+	// single-node assembly order.
+	resp := dmsapi.LookupResponse{Degraded: degraded}
+	for k := range drawOrder {
+		for _, id := range drawOrder[k] {
+			if s, ok := fetched[id]; ok {
+				resp.Samples = append(resp.Samples, s)
+			}
+		}
+	}
+	if len(resp.Samples) == 0 {
+		return resp, &dmsapi.StatusError{
+			Code: http.StatusInternalServerError, ErrCode: dmsapi.CodeInternal,
+			Message: "lookup: no labeled historical data matches the input distribution",
+		}
+	}
+	if degraded {
+		c.noteDegraded()
+	}
+	return resp, nil
+}
+
+// ---------------------------------------------------------------------------
+// Model plane (replicated)
+
+// AddModel replicates a model registration to every healthy shard, so
+// recommend/checkpoint/train stay local wherever they land. A shard
+// answering duplicate counts as replicated (idempotent re-registration);
+// the call fails only when no shard accepted or already had it.
+func (c *Cluster) AddModel(ctx context.Context, req dmsapi.AddModelRequest) (dmsapi.ModelInfo, error) {
+	nodes := c.healthyNodes()
+	if len(nodes) == 0 {
+		return dmsapi.ModelInfo{}, errNoShards("models")
+	}
+	ctx, sp := obs.StartSpan(ctx, "replicate_model")
+	defer sp.End()
+	rs := fanOut(c, ctx, nodes, func(ctx context.Context, n *node) (dmsapi.ModelInfo, error) {
+		var out dmsapi.ModelInfo
+		err := n.client.DoJSON(ctx, "POST", dmsapi.PathModels, req, &out)
+		return out, err
+	})
+	var firstErr error
+	accepted, duplicates := 0, 0
+	info := dmsapi.ModelInfo{ID: req.ID, K: len(req.PDF), Meta: req.Meta}
+	for _, r := range rs {
+		switch {
+		case r.err == nil:
+			accepted++
+			info = r.val
+		case errors.Is(r.err, dmsapi.ErrDuplicateModel):
+			duplicates++
+		case firstErr == nil:
+			firstErr = r.err
+		}
+	}
+	if accepted > 0 {
+		if accepted+duplicates < len(nodes) && c.cfg.Logger != nil {
+			c.cfg.Logger.Printf("dmscluster: model %q replicated to %d/%d shards", req.ID, accepted+duplicates, len(nodes))
+		}
+		return info, nil
+	}
+	if duplicates == len(nodes) {
+		// Uniform duplicate: pass the conflict through losslessly.
+		for _, r := range rs {
+			if errors.Is(r.err, dmsapi.ErrDuplicateModel) {
+				return dmsapi.ModelInfo{}, r.err
+			}
+		}
+	}
+	if firstErr != nil {
+		return dmsapi.ModelInfo{}, firstErr
+	}
+	return dmsapi.ModelInfo{}, mergeFailure(rs, "models")
+}
+
+// Models lists the union of every healthy shard's zoo (deduplicated by
+// ID, ordered by registration time).
+func (c *Cluster) Models(ctx context.Context) (dmsapi.ModelsResponse, error) {
+	nodes := c.healthyNodes()
+	if len(nodes) == 0 {
+		return dmsapi.ModelsResponse{}, errNoShards("models")
+	}
+	rs := fanOut(c, ctx, nodes, func(ctx context.Context, n *node) (dmsapi.ModelsResponse, error) {
+		var out dmsapi.ModelsResponse
+		err := n.client.DoJSON(ctx, "GET", dmsapi.PathModels, nil, &out)
+		return out, err
+	})
+	ok, failed := splitResults(rs)
+	if len(ok) == 0 {
+		return dmsapi.ModelsResponse{}, mergeFailure(failed, "models")
+	}
+	seen := make(map[string]bool)
+	var models []dmsapi.ModelInfo
+	for _, r := range ok {
+		for _, m := range r.val.Models {
+			if !seen[m.ID] {
+				seen[m.ID] = true
+				models = append(models, m)
+			}
+		}
+	}
+	sort.Slice(models, func(i, j int) bool {
+		if !models[i].AddedAt.Equal(models[j].AddedAt) {
+			return models[i].AddedAt.Before(models[j].AddedAt)
+		}
+		return models[i].ID < models[j].ID
+	})
+	return dmsapi.ModelsResponse{Models: models}, nil
+}
+
+// Recommend scatters the recommendation and keeps the best answer
+// (lowest JSD among OK responses) — with replicated zoos every shard
+// agrees, and a train-produced model that exists on only one shard is
+// still found by the fan-out.
+func (c *Cluster) Recommend(ctx context.Context, req dmsapi.RecommendRequest) (dmsapi.RecommendResponse, error) {
+	nodes := c.healthyNodes()
+	if len(nodes) == 0 {
+		return dmsapi.RecommendResponse{}, errNoShards("recommend")
+	}
+	ctx, sp := obs.StartSpan(ctx, "scatter_recommend")
+	defer sp.End()
+	rs := fanOut(c, ctx, nodes, func(ctx context.Context, n *node) (dmsapi.RecommendResponse, error) {
+		var out dmsapi.RecommendResponse
+		err := n.client.DoJSON(ctx, "POST", dmsapi.PathRecommend, req, &out)
+		return out, err
+	})
+	ok, failed := splitResults(rs)
+	if len(ok) == 0 {
+		return dmsapi.RecommendResponse{}, mergeFailure(failed, "recommend")
+	}
+	best := dmsapi.RecommendResponse{}
+	for _, r := range ok {
+		v := r.val
+		switch {
+		case v.OK && (!best.OK || v.JSD < best.JSD):
+			best = v
+		case !best.OK && !v.OK && v.JSD > 0 && (best.JSD == 0 || v.JSD < best.JSD):
+			best.JSD = v.JSD // closest-but-rejected divergence, for diagnostics
+		}
+	}
+	best.Degraded = c.partial(nodes, len(failed))
+	if best.Degraded {
+		c.noteDegraded()
+	}
+	return best, nil
+}
+
+// Checkpoint fetches a model's weights from the first shard that has
+// them (replicated models live everywhere; train-produced ones on their
+// training shard).
+func (c *Cluster) Checkpoint(ctx context.Context, id string) ([]byte, error) {
+	nodes := c.healthyNodes()
+	if len(nodes) == 0 {
+		return nil, errNoShards("checkpoint")
+	}
+	path := strings.Replace(dmsapi.PathCheckpoint, "{id}", url.PathEscape(id), 1)
+	var lastErr error
+	for _, n := range nodes {
+		blob, err := n.client.DoRaw(ctx, "GET", path, nil)
+		if err == nil {
+			c.noteSuccess(n)
+			return blob, nil
+		}
+		c.shardFailure(n, err)
+		lastErr = err
+		if !errors.Is(err, dmsapi.ErrNotFound) {
+			var se *dmsapi.StatusError
+			if errors.As(err, &se) {
+				return nil, err // a real status answer other than 404: stop
+			}
+		}
+	}
+	return nil, lastErr
+}
+
+// ---------------------------------------------------------------------------
+// Training plane (job affinity via ID prefix)
+
+// trainPrefix tags a job ID with its shard ("s2!<id>"): training jobs
+// have shard affinity, and the prefix routes every status poll and
+// cancel to the right shard without a lookup table. '!' is path-safe
+// and cannot appear in trainer IDs.
+func trainPrefix(shard int, id string) string {
+	return "s" + strconv.Itoa(shard) + "!" + id
+}
+
+// splitTrainID reverses trainPrefix.
+func (c *Cluster) splitTrainID(id string) (*node, string, error) {
+	rest, found := strings.CutPrefix(id, "s")
+	if found {
+		if si, raw, ok := strings.Cut(rest, "!"); ok {
+			if idx, err := strconv.Atoi(si); err == nil && idx >= 0 && idx < len(c.nodes) {
+				return c.nodes[idx], raw, nil
+			}
+		}
+	}
+	return nil, "", &dmsapi.StatusError{
+		Code: http.StatusNotFound, ErrCode: dmsapi.CodeNotFound,
+		Message: fmt.Sprintf("train: job id %q carries no shard tag", id),
+	}
+}
+
+// SubmitTrain places a training job on one healthy shard (round-robin),
+// trying the next shard on transport failure. The returned job ID is
+// shard-tagged for later polls.
+func (c *Cluster) SubmitTrain(ctx context.Context, req dmsapi.TrainRequest) (dmsapi.TrainJob, error) {
+	nodes := c.healthyNodes()
+	if len(nodes) == 0 {
+		return dmsapi.TrainJob{}, errNoShards("train")
+	}
+	start := int(c.rr.Add(1)) % len(nodes)
+	var lastErr error
+	for off := 0; off < len(nodes); off++ {
+		n := nodes[(start+off)%len(nodes)]
+		var job dmsapi.TrainJob
+		err := n.client.DoJSON(ctx, "POST", dmsapi.PathTrain, req, &job)
+		if err == nil {
+			c.noteSuccess(n)
+			job.ID = trainPrefix(n.idx, job.ID)
+			return job, nil
+		}
+		c.shardFailure(n, err)
+		lastErr = err
+		var se *dmsapi.StatusError
+		if errors.As(err, &se) {
+			return dmsapi.TrainJob{}, err // queue-full 429 etc. pass through
+		}
+	}
+	return dmsapi.TrainJob{}, lastErr
+}
+
+// TrainJob fetches one job's status from its shard.
+func (c *Cluster) TrainJob(ctx context.Context, id string) (dmsapi.TrainJob, error) {
+	n, raw, err := c.splitTrainID(id)
+	if err != nil {
+		return dmsapi.TrainJob{}, err
+	}
+	var job dmsapi.TrainJob
+	path := strings.Replace(dmsapi.PathTrainJob, "{id}", url.PathEscape(raw), 1)
+	if err := n.client.DoJSON(ctx, "GET", path, nil, &job); err != nil {
+		c.shardFailure(n, err)
+		return dmsapi.TrainJob{}, err
+	}
+	c.noteSuccess(n)
+	job.ID = trainPrefix(n.idx, job.ID)
+	return job, nil
+}
+
+// CancelTrain cancels a job on its shard.
+func (c *Cluster) CancelTrain(ctx context.Context, id string) (dmsapi.TrainJob, error) {
+	n, raw, err := c.splitTrainID(id)
+	if err != nil {
+		return dmsapi.TrainJob{}, err
+	}
+	var job dmsapi.TrainJob
+	path := strings.Replace(dmsapi.PathTrainCancel, "{id}", url.PathEscape(raw), 1)
+	if err := n.client.DoJSON(ctx, "POST", path, struct{}{}, &job); err != nil {
+		c.shardFailure(n, err)
+		return dmsapi.TrainJob{}, err
+	}
+	c.noteSuccess(n)
+	job.ID = trainPrefix(n.idx, job.ID)
+	return job, nil
+}
+
+// TrainJobs lists every shard's jobs (shard-tagged IDs, submission
+// order).
+func (c *Cluster) TrainJobs(ctx context.Context) (dmsapi.TrainListResponse, error) {
+	nodes := c.healthyNodes()
+	if len(nodes) == 0 {
+		return dmsapi.TrainListResponse{}, errNoShards("train")
+	}
+	rs := fanOut(c, ctx, nodes, func(ctx context.Context, n *node) (dmsapi.TrainListResponse, error) {
+		var out dmsapi.TrainListResponse
+		err := n.client.DoJSON(ctx, "GET", dmsapi.PathTrain, nil, &out)
+		return out, err
+	})
+	ok, failed := splitResults(rs)
+	if len(ok) == 0 {
+		return dmsapi.TrainListResponse{}, mergeFailure(failed, "train")
+	}
+	var jobs []dmsapi.TrainJob
+	for _, r := range ok {
+		for _, j := range r.val.Jobs {
+			j.ID = trainPrefix(r.node.idx, j.ID)
+			jobs = append(jobs, j)
+		}
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].SubmittedAt.Before(jobs[j].SubmittedAt) })
+	return dmsapi.TrainListResponse{Jobs: jobs}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Health
+
+// Health aggregates shard health: sample counts sum across the
+// partition, the cluster count and zoo size are replicated maxima, and
+// the status degrades (not fails) while any shard is out.
+func (c *Cluster) Health(ctx context.Context) (dmsapi.HealthResponse, error) {
+	nodes := c.healthyNodes()
+	if len(nodes) == 0 {
+		return dmsapi.HealthResponse{}, errNoShards("health")
+	}
+	rs := fanOut(c, ctx, nodes, func(ctx context.Context, n *node) (dmsapi.HealthResponse, error) {
+		var out dmsapi.HealthResponse
+		err := n.client.DoJSON(ctx, "GET", dmsapi.PathHealth, nil, &out)
+		return out, err
+	})
+	ok, failed := splitResults(rs)
+	if len(ok) == 0 {
+		return dmsapi.HealthResponse{}, mergeFailure(failed, "health")
+	}
+	out := dmsapi.HealthResponse{Status: "ok"}
+	for _, r := range ok {
+		out.Samples += r.val.Samples
+		out.K = max(out.K, r.val.K)
+		out.Models = max(out.Models, r.val.Models)
+	}
+	if len(failed) > 0 || len(ok) < len(c.nodes) {
+		out.Status = "degraded"
+	}
+	return out, nil
+}

@@ -577,6 +577,16 @@ func (s *Service) NearestMatches(samples []*codec.Sample, distinct bool) ([]Matc
 // NearestMatchesContext is NearestMatches with trace-span stages: embed,
 // then index_probe (warm index) or store_scan (cold fallback).
 func (s *Service) NearestMatchesContext(ctx context.Context, samples []*codec.Sample, distinct bool) ([]Match, error) {
+	return s.NearestMatchesExcluding(ctx, samples, distinct, nil)
+}
+
+// NearestMatchesExcluding is NearestMatchesContext with an initial
+// exclusion set: documents in exclude are never matched, exactly as if
+// they had already been taken by an earlier distinct match. This is the
+// primitive the cluster router's iterative distinct-merge is built on —
+// re-querying conflicted samples with the globally-taken IDs excluded.
+// exclude is read, not mutated.
+func (s *Service) NearestMatchesExcluding(ctx context.Context, samples []*codec.Sample, distinct bool, exclude map[string]bool) ([]Match, error) {
 	if err := s.requireClusters(); err != nil {
 		return nil, err
 	}
@@ -590,7 +600,10 @@ func (s *Service) NearestMatchesContext(ctx context.Context, samples []*codec.Sa
 	assign := s.km.Predict(rows)
 	sp.End()
 
-	used := make(map[string]bool)
+	used := make(map[string]bool, len(exclude))
+	for id := range exclude {
+		used[id] = true
+	}
 	out := make([]Match, len(samples))
 
 	if s.indexReady() {
@@ -598,12 +611,12 @@ func (s *Service) NearestMatchesContext(ctx context.Context, samples []*codec.Sa
 		s.idxHits.Add(int64(len(samples)))
 		_, sp := obs.StartSpan(ctx, "index_probe")
 		defer sp.End()
-		var exclude func(string) bool
-		if distinct {
-			exclude = func(id string) bool { return used[id] }
+		var skip func(string) bool
+		if distinct || len(used) > 0 {
+			skip = func(id string) bool { return used[id] }
 		}
 		for i := range samples {
-			res, ok := s.idx.Nearest(assign[i], rows[i], exclude)
+			res, ok := s.idx.Nearest(assign[i], rows[i], skip)
 			if !ok {
 				out[i] = Match{Dist: math.Inf(1)}
 				continue
@@ -652,7 +665,7 @@ func (s *Service) NearestMatchesContext(ctx context.Context, samples []*codec.Sa
 		best := math.Inf(1)
 		bestID := ""
 		for _, e := range clusterDocs[assign[i]] {
-			if distinct && used[e.id] {
+			if (distinct || len(exclude) > 0) && used[e.id] {
 				continue
 			}
 			if d := tensor.SquaredDistance(rows[i], e.emb); d < best {
@@ -718,6 +731,56 @@ func (s *Service) GetSamples(ids []string) ([]*codec.Sample, error) {
 		out[i] = smp
 	}
 	return out, nil
+}
+
+// SamplesByIDContext fetches and decodes stored samples by ID. With
+// partial, IDs that do not resolve (or decode) are returned in missing
+// instead of failing the call — the tolerant path a cluster router uses
+// when assembling a lookup from shards that may have compacted between
+// the candidate listing and the fetch. Returned samples follow the
+// request order with misses skipped.
+func (s *Service) SamplesByIDContext(ctx context.Context, ids []string, partial bool) ([]*codec.Sample, []string, error) {
+	_, sp := obs.StartSpan(ctx, "store_fetch")
+	defer sp.End()
+	if !partial {
+		out, err := s.GetSamples(ids)
+		return out, nil, err
+	}
+	out := make([]*codec.Sample, 0, len(ids))
+	var missing []string
+	for _, id := range ids {
+		docs, err := s.store.GetMany([]string{id})
+		if err != nil {
+			missing = append(missing, id)
+			continue
+		}
+		smp, err := s.decodeDoc(docs[0])
+		if err != nil {
+			missing = append(missing, id)
+			continue
+		}
+		out = append(out, smp)
+	}
+	return out, missing, nil
+}
+
+// ClusterDocIDs lists the document IDs assigned to one cluster, sorted —
+// the candidate-set primitive behind the cluster router's lookup merge.
+// An out-of-range cluster returns an empty list, not an error: the
+// caller's PDF decides which clusters exist.
+func (s *Service) ClusterDocIDs(ctx context.Context, cluster int) ([]string, error) {
+	if err := s.requireClusters(); err != nil {
+		return nil, err
+	}
+	_, sp := obs.StartSpan(ctx, "store_scan")
+	defer sp.End()
+	ids, err := s.store.FindIDs(docstore.Query{
+		Filters: []docstore.Filter{docstore.Eq("cluster", cluster)},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fairds: listing cluster %d: %w", cluster, err)
+	}
+	return ids, nil
 }
 
 // StoreCount reports how many labeled samples the store holds.
@@ -1001,3 +1064,8 @@ func collate(samples []*codec.Sample) (*tensor.Tensor, error) {
 // Collate is the exported form used by callers assembling tensors from
 // retrieved samples.
 func Collate(samples []*codec.Sample) (*tensor.Tensor, error) { return collate(samples) }
+
+// Apportion is the exported form of the largest-remainder split — the
+// cluster router reuses the exact per-cluster counts a single node would
+// draw for a lookup, so merged results match single-node semantics.
+func Apportion(pdf stats.PDF, n int) []int { return apportion(pdf, n) }

@@ -91,6 +91,11 @@ type Config struct {
 	TraceSample int
 	// TraceKeep bounds retained trace samples (default 8).
 	TraceKeep int
+	// Cluster marks Addr as a dmsrouter rather than a single dmsd. The
+	// /v1 surface is identical, so the workload runs unchanged; only the
+	// /statsz before/after delta is skipped (the router's stats schema is
+	// cluster-shaped, not dmsapi.Stats), leaving Report.Server nil.
+	Cluster bool
 	// Logf, when set, receives progress lines (e.g. log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -353,9 +358,12 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	before, err := client.ServerStats()
-	if err != nil {
-		return nil, fmt.Errorf("loadgen: /statsz before: %w", err)
+	var before dmsapi.Stats
+	if !cfg.Cluster {
+		before, err = client.ServerStats()
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: /statsz before: %w", err)
+		}
 	}
 
 	logf("loadgen: driving %s with %d workers for %v (mix %v)",
@@ -387,9 +395,12 @@ func Run(cfg Config) (*Report, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after, err := client.ServerStats()
-	if err != nil {
-		return nil, fmt.Errorf("loadgen: /statsz after: %w", err)
+	var after dmsapi.Stats
+	if !cfg.Cluster {
+		after, err = client.ServerStats()
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: /statsz after: %w", err)
+		}
 	}
 
 	rep := assemble(cfg, start, elapsed, counters, before, after)
@@ -569,6 +580,9 @@ func assemble(cfg Config, start time.Time, elapsed time.Duration, counters map[O
 	}
 	if elapsed > 0 {
 		rep.ThroughputRPS = float64(rep.TotalRequests) / elapsed.Seconds()
+	}
+	if cfg.Cluster {
+		return rep // no single-daemon /statsz delta behind a router
 	}
 
 	delta := &ServerDelta{

@@ -50,6 +50,14 @@ type Trace struct {
 	mu      sync.Mutex
 	spans   []spanData
 	dropped int
+	grafts  []graftData
+}
+
+// graftData is a remote tier's span tree waiting to be spliced into the
+// local tree at Dump time.
+type graftData struct {
+	at     int
+	remote TraceDump
 }
 
 type spanData struct {
@@ -190,8 +198,24 @@ type SpanDump struct {
 	DurUS   int64  `json:"dur_us"`
 }
 
-// Dump snapshots the span tree. Spans still open are reported with their
-// duration so far. Nil-safe: a nil trace dumps empty.
+// AttachRemote records a remote tier's span tree to be grafted under the
+// local span at index at when the trace is dumped — how a middle tier
+// (e.g. the cluster router forwarding to shards) splices each shard's
+// trailer dump into the tree it returns on its own trailer. at indexes
+// the local trace's own spans (Span.Index of the round-trip span the
+// remote call ran under). Nil-safe.
+func (t *Trace) AttachRemote(at int, remote TraceDump) {
+	if t == nil || len(remote.Spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.grafts = append(t.grafts, graftData{at: at, remote: remote})
+	t.mu.Unlock()
+}
+
+// Dump snapshots the span tree, with every AttachRemote tree grafted in.
+// Spans still open are reported with their duration so far. Nil-safe: a
+// nil trace dumps empty.
 func (t *Trace) Dump() TraceDump {
 	if t == nil {
 		return TraceDump{}
@@ -210,6 +234,12 @@ func (t *Trace) Dump() TraceDump {
 			StartUS: sp.start.Microseconds(),
 			DurUS:   dur.Microseconds(),
 		}
+	}
+	// Grafts splice remote spans after the local ones, so each recorded
+	// at — an index into the local span list — stays valid across
+	// successive grafts.
+	for _, g := range t.grafts {
+		d = Graft(d, g.at, g.remote)
 	}
 	return d
 }
