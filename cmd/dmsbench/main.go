@@ -14,7 +14,9 @@
 //	         -out BENCH_dmsapi.json
 //
 // With -fail-on-errors the exit status is non-zero if any request failed —
-// the contract the CI bench-smoke gate relies on.
+// the contract the CI bench-smoke gate relies on. -slo-check evaluates
+// the run against router-style objectives ("nearest:p99<50ms,err<1%")
+// and fails the same way when one is breached.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"time"
 
 	"fairdms/internal/loadgen"
+	"fairdms/internal/obs"
 )
 
 func main() {
@@ -43,12 +46,17 @@ func main() {
 	cluster := flag.Bool("cluster", false, "treat -addr as a dmsrouter: same workload, skip the single-daemon /statsz delta")
 	out := flag.String("out", "BENCH_dmsapi.json", "report path (empty = don't write)")
 	failOnErrors := flag.Bool("fail-on-errors", false, "exit non-zero if any request failed")
+	sloCheck := flag.String("slo-check", "", "objectives to assert against the run, router -slo grammar (e.g. 'nearest:p99<50ms,err<1%'); breaches exit non-zero")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Parse()
 
 	mix, err := loadgen.ParseMix(*mixFlag)
 	if err != nil {
 		log.Fatalf("dmsbench: %v", err)
+	}
+	slos, err := obs.ParseSLOs(*sloCheck)
+	if err != nil {
+		log.Fatalf("dmsbench: -slo-check: %v", err)
 	}
 	cfg := loadgen.Config{
 		Addr:        *addr,
@@ -89,5 +97,13 @@ func main() {
 		log.Printf("dmsbench: FAIL — %d client errors, %d server endpoint errors",
 			rep.TotalErrors, serverErrors)
 		os.Exit(1)
+	}
+	if violations := loadgen.CheckSLOs(rep, slos); len(violations) > 0 {
+		for _, v := range violations {
+			log.Printf("dmsbench: SLO breach — %s", v)
+		}
+		os.Exit(1)
+	} else if len(slos) > 0 && !*quiet {
+		log.Printf("dmsbench: all %d SLO objectives held", len(slos))
 	}
 }

@@ -38,6 +38,7 @@
 //	     [-vecindex flat|ivf|off] [-nprobe 4]
 //	     [-train-workers 2] [-train-queue 8]
 //	     [-slow-threshold 250ms] [-slow-log 64] [-pprof] [-v]
+//	     [-log-level info]
 package main
 
 import (
@@ -58,10 +59,16 @@ import (
 	"fairdms/internal/embed"
 	"fairdms/internal/fairds"
 	"fairdms/internal/fairms"
+	"fairdms/internal/obs"
 	"fairdms/internal/tensor"
 	"fairdms/internal/vecindex"
 	"fairdms/internal/wal"
 )
+
+// logger is the daemon's leveled key=value event log, configured by
+// -log-level in main before anything can write to it. Startup failures
+// still use log.Fatalf (they predate the flag parse or must exit).
+var logger *obs.Logger
 
 // lazyEmbedder defers constructing the embedding model until the first
 // batch arrives, because the input width is a property of the data (e.g.
@@ -140,7 +147,17 @@ func main() {
 	indexKind := flag.String("vecindex", "flat", "nearest-label vector index: flat (exact), ivf (approximate, sublinear), off (store scans)")
 	nprobe := flag.Int("nprobe", 4, "IVF sublists probed per query (higher = more accurate, slower)")
 	verbose := flag.Bool("v", false, "log request failures")
+	logLevel := flag.String("log-level", "info", "minimum log level for daemon events: debug, info, warn, error")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("dmsd: %v", err)
+	}
+	logger = obs.NewLogger(os.Stderr, level).With("component", "dmsd")
+	if *nodeID != "" {
+		logger = logger.With("node", *nodeID)
+	}
 
 	if *nodeID != "" {
 		// Document IDs are sequential within a collection; a per-shard
@@ -163,7 +180,7 @@ func main() {
 		defer client.Close()
 		storeClient = client
 		backend = fairds.RemoteCollection{Client: client, Name: *collection}
-		log.Printf("dmsd: using external store at %s (collection %q)", *storeAddr, *collection)
+		logger.Info("using external store", "store", *storeAddr, "collection", *collection)
 	case *walDir != "":
 		policy, err := wal.ParsePolicy(*fsyncPolicy)
 		if err != nil {
@@ -174,8 +191,8 @@ func main() {
 			log.Fatalf("dmsd: opening durable store: %v", err)
 		}
 		ws := durable.WalStats()
-		log.Printf("dmsd: durable store in %s (fsync %s): replayed %d txns (%d torn, %d corrupt tails truncated)",
-			*walDir, ws.Policy, ws.ReplayedTxns, ws.TornTruncations, ws.CorruptRecords)
+		logger.Info("durable store opened", "dir", *walDir, "fsync", ws.Policy,
+			"replayed_txns", ws.ReplayedTxns, "torn", ws.TornTruncations, "corrupt", ws.CorruptRecords)
 		backend = durable.Collection(*collection)
 	default:
 		backend = docstore.NewStore().Collection(*collection)
@@ -204,10 +221,10 @@ func main() {
 		// immediately. Non-fatal — a failed warm just leaves the store-scan
 		// fallback in place.
 		if n, err := ds.WarmIndex(); err != nil {
-			log.Printf("dmsd: warming vector index: %v (store-scan fallback stays active)", err)
+			logger.Warn("vector index warm failed; store-scan fallback stays active", "err", err)
 		} else if n > 0 || ds.CorruptEmbeddings() > 0 {
-			log.Printf("dmsd: vector index (%s) warmed with %d stored embeddings (%d corrupt skipped)",
-				*indexKind, n, ds.CorruptEmbeddings())
+			logger.Info("vector index warmed",
+				"index", *indexKind, "embeddings", n, "corrupt_skipped", ds.CorruptEmbeddings())
 		}
 	}
 
@@ -222,17 +239,17 @@ func main() {
 			if err != nil {
 				log.Fatalf("dmsd: loading zoo snapshot: %v", err)
 			}
-			log.Printf("dmsd: loaded zoo snapshot %s (%d models)", *zooPath, zoo.Len())
+			logger.Info("zoo snapshot loaded", "path", *zooPath, "models", zoo.Len())
 		case errors.Is(err, fs.ErrNotExist):
-			log.Printf("dmsd: no zoo snapshot at %s, starting empty", *zooPath)
+			logger.Info("no zoo snapshot, starting empty", "path", *zooPath)
 		default:
 			log.Fatalf("dmsd: checking zoo snapshot: %v", err)
 		}
 	}
 
-	var logger *log.Logger
+	var reqLogger *log.Logger
 	if *verbose {
-		logger = log.Default()
+		reqLogger = log.Default()
 	}
 	cfg := dmsapi.ServerConfig{
 		DS: ds, Zoo: zoo,
@@ -245,7 +262,7 @@ func main() {
 		SlowThreshold: *slowThreshold,
 		SlowLogSize:   *slowLog,
 		EnablePprof:   *enablePprof,
-		Logger:        logger,
+		Logger:        reqLogger,
 	}
 	if durable != nil {
 		cfg.WalStats = func() dmsapi.WalStats { return walStatsWire(durable.WalStats()) }
@@ -274,7 +291,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("dmsd: listen: %v", err)
 	}
-	log.Printf("dmsd: serving on http://%s (max in-flight %d, cache %d)", bound, *maxInflight, *cacheSize)
+	logger.Info("serving", "addr", bound, "max_inflight", *maxInflight, "cache", *cacheSize)
 
 	stopCompact := make(chan struct{})
 	var compactWG sync.WaitGroup
@@ -288,7 +305,7 @@ func main() {
 				select {
 				case <-t.C:
 					if err := durable.Compact(); err != nil {
-						log.Printf("dmsd: wal compaction: %v", err)
+						logger.Error("wal compaction failed", "err", err)
 					}
 				case <-stopCompact:
 					return
@@ -300,11 +317,11 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	log.Printf("dmsd: shutting down after %d requests (%d shed)", srv.Requests(), srv.Shed())
+	logger.Info("shutting down", "requests", srv.Requests(), "shed", srv.Shed())
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("dmsd: shutdown: %v", err)
+		logger.Error("shutdown failed", "err", err)
 	}
 	if durable != nil {
 		close(stopCompact)
@@ -313,16 +330,16 @@ func main() {
 		// replaying the session's whole log; Close still fsyncs whatever the
 		// compaction could not fold in.
 		if err := durable.Compact(); err != nil {
-			log.Printf("dmsd: final wal compaction: %v", err)
+			logger.Error("final wal compaction failed", "err", err)
 		}
 		if err := durable.Close(); err != nil {
-			log.Printf("dmsd: closing durable store: %v", err)
+			logger.Error("closing durable store failed", "err", err)
 		}
 	}
 	if *zooPath != "" {
 		if err := zoo.Save(*zooPath); err != nil {
 			log.Fatalf("dmsd: saving zoo snapshot: %v", err)
 		}
-		log.Printf("dmsd: zoo snapshot saved to %s (%d models)", *zooPath, zoo.Len())
+		logger.Info("zoo snapshot saved", "path", *zooPath, "models", zoo.Len())
 	}
 }

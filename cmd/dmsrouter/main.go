@@ -14,8 +14,11 @@
 // ejected after -fail-after consecutive failures, ingest routes around
 // it, reads merge the survivors (responses flagged "degraded"), and a
 // recovered shard is re-admitted automatically. /statsz reports
-// per-node health and the membership epoch; /metricsz exports the same
-// in Prometheus text form.
+// per-node health and the membership epoch; /metricsz serves the
+// federated fleet exposition (every healthy shard's families relabeled
+// with node=<addr> plus dms_fleet_* aggregates); /debug/tracez serves
+// tail-retained span trees for slow, errored, and degraded requests; and
+// -slo objectives surface as dms_slo_* burn-rate families.
 //
 // Usage:
 //
@@ -24,7 +27,8 @@
 //	dmsd -addr 127.0.0.1:7803 -node-id c -seed 1 &
 //	dmsrouter -addr 127.0.0.1:7718 \
 //	          -shards 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803 \
-//	          -k 8 -seed 1
+//	          -k 8 -seed 1 \
+//	          -slo 'nearest:p99<50ms,err<1%' -trace-ring 256
 package main
 
 import (
@@ -38,6 +42,7 @@ import (
 	"time"
 
 	"fairdms/internal/dmscluster"
+	"fairdms/internal/obs"
 )
 
 func main() {
@@ -50,7 +55,11 @@ func main() {
 	failAfter := flag.Int("fail-after", 2, "consecutive failures before a shard is ejected")
 	retries := flag.Int("retries", 1, "per-shard HTTP retry count")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-shard HTTP exchange timeout")
-	verbose := flag.Bool("v", false, "log request failures (membership transitions always log)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	sloSpec := flag.String("slo", "", "per-endpoint objectives, e.g. 'nearest:p99<5ms,err<0.1%;recommend:p95<20ms' (empty disables the SLO layer)")
+	traceRing := flag.Int("trace-ring", 256, "tail-based trace retention ring size (0 disables /debug/tracez)")
+	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "retain any request slower than this, even when it succeeded (0 = only errored/degraded)")
+	scrapeTimeout := flag.Duration("scrape-timeout", 2*time.Second, "per-request fleet metrics scrape budget for the federated /metricsz")
 	flag.Parse()
 
 	if *shardsFlag == "" {
@@ -63,6 +72,17 @@ func main() {
 		}
 	}
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("dmsrouter: %v", err)
+	}
+	logger := obs.NewLogger(os.Stderr, level).With("component", "dmsrouter")
+
+	slos, err := obs.ParseSLOs(*sloSpec)
+	if err != nil {
+		log.Fatalf("dmsrouter: -slo: %v", err)
+	}
+
 	cluster, err := dmscluster.New(dmscluster.Config{
 		Shards:        shards,
 		Vnodes:        *vnodes,
@@ -72,7 +92,7 @@ func main() {
 		FailAfter:     *failAfter,
 		Retries:       *retries,
 		Timeout:       *timeout,
-		Logger:        log.Default(),
+		Logger:        logger,
 	})
 	if err != nil {
 		log.Fatalf("dmsrouter: %v", err)
@@ -80,26 +100,29 @@ func main() {
 	cluster.Start()
 	defer cluster.Close()
 
-	var reqLogger *log.Logger
-	if *verbose {
-		reqLogger = log.Default()
-	}
-	router := dmscluster.NewRouter(cluster, reqLogger)
+	router := dmscluster.NewRouter(cluster, dmscluster.RouterConfig{
+		Logger:        logger,
+		SLOs:          slos,
+		TraceRing:     *traceRing,
+		TraceSlow:     *traceSlow,
+		ScrapeTimeout: *scrapeTimeout,
+	})
 	bound, err := router.Listen(*addr)
 	if err != nil {
 		log.Fatalf("dmsrouter: listen: %v", err)
 	}
-	log.Printf("dmsrouter: serving on http://%s over %d shards", bound, len(shards))
+	logger.Info("serving", "addr", bound, "shards", len(shards), "slos", len(slos), "trace_ring", *traceRing)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	st := cluster.Stats()
-	log.Printf("dmsrouter: shutting down (epoch %d, %d/%d shards healthy, %d degraded responses, %d reroutes)",
-		st.Epoch, st.HealthyShards, st.Shards, st.DegradedResponses, st.Reroutes)
+	logger.Info("shutting down",
+		"epoch", st.Epoch, "healthy", st.HealthyShards, "shards", st.Shards,
+		"degraded_responses", st.DegradedResponses, "reroutes", st.Reroutes)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := router.Shutdown(ctx); err != nil {
-		log.Printf("dmsrouter: shutdown: %v", err)
+		logger.Error("shutdown failed", "err", err)
 	}
 }

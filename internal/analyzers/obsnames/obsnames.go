@@ -32,15 +32,18 @@ var Analyzer = &anzkit.Analyzer{
 var registrations = map[string]int{
 	"Counter":      0,
 	"CounterFunc":  0,
+	"Gauge":        0,
 	"GaugeFunc":    0,
 	"Histogram":    0,
 	"CounterVec":   0,
+	"GaugeVec":     0,
 	"HistogramVec": 0,
 }
 
 // labelArg is the label-name position of the vector registrations.
 var labelArg = map[string]int{
 	"CounterVec":   2,
+	"GaugeVec":     2,
 	"HistogramVec": 2,
 }
 

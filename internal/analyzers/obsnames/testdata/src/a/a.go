@@ -14,6 +14,9 @@ func register(r *obs.Registry) {
 	r.CounterVec("vec_total", "fine", "opLabel")      // want `label name "opLabel" is not lowercase_snake`
 	r.HistogramVec("lat_seconds", "fine", "endpoint") // clean
 	r.Histogram("9starts_with_digit", "bad")          // want `metric name "9starts_with_digit" is not lowercase_snake`
+	r.Gauge("dms_slo_budget", "fine")
+	r.Gauge("dms_slo_budget", "again")           // want `metric "dms_slo_budget" is already registered`
+	r.GaugeVec("dms_slo_burn", "fine", "SLO-ID") // want `label name "SLO-ID" is not lowercase_snake`
 }
 
 func spans(ctx context.Context) {

@@ -15,6 +15,17 @@ func register(r *obs.Registry) {
 	v.With("data.ingest")
 }
 
+// The fleet-observability families follow the same contract: federation
+// aggregates under dms_fleet_*, SLO burn rates under dms_slo_*.
+func registerFleet(r *obs.Registry) {
+	r.Counter("dms_fleet_requests_total", "fleet-wide requests")
+	g := r.GaugeVec("dms_fleet_in_flight", "in-flight by stat", "stat")
+	g.With("mean")
+	r.GaugeVec("dms_slo_fast_burn", "fast-window burn rate", "objective")
+	r.CounterVec("dms_slo_breaches_total", "fast-burn breaches observed", "objective")
+	r.Gauge("dms_slo_budget_seconds", "example settable gauge")
+}
+
 func spans(ctx context.Context) {
 	ctx, _ = obs.StartSpan(ctx, "request")
 	_, _ = obs.StartSpan(ctx, "index_probe")

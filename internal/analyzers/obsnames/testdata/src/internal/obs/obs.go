@@ -7,18 +7,23 @@ import "context"
 type Registry struct{}
 
 type Counter struct{}
+type Gauge struct{}
 type Histogram struct{}
 type CounterVec struct{}
+type GaugeVec struct{}
 type HistogramVec struct{}
 type Span struct{}
 
 func (r *Registry) Counter(name, help string) *Counter                  { return nil }
 func (r *Registry) CounterFunc(name, help string, fn func() int64)      {}
+func (r *Registry) Gauge(name, help string) *Gauge                      { return nil }
 func (r *Registry) GaugeFunc(name, help string, fn func() float64)      {}
 func (r *Registry) Histogram(name, help string) *Histogram              { return nil }
 func (r *Registry) CounterVec(name, help, label string) *CounterVec     { return nil }
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec         { return nil }
 func (r *Registry) HistogramVec(name, help, label string) *HistogramVec { return nil }
 
 func (v *CounterVec) With(value string) *Counter { return nil }
+func (v *GaugeVec) With(value string) *Gauge     { return nil }
 
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) { return ctx, nil }

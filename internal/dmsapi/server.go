@@ -555,6 +555,14 @@ var buildInfo = sync.OnceValue(func() (bi struct{ goVersion, version, revision s
 	return bi
 })
 
+// BuildIdentity reports the running binary's identity (Go toolchain,
+// main-module version, VCS revision) — the same block dmsd's /statsz
+// carries, exported so the cluster router reports it too.
+func BuildIdentity() (goVersion, version, revision string) {
+	bi := buildInfo()
+	return bi.goVersion, bi.version, bi.revision
+}
+
 // Stats snapshots the server counters (the /statsz payload).
 func (s *Server) Stats() Stats {
 	eps := make(map[string]EndpointStats, len(s.metrics))

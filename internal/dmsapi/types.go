@@ -47,6 +47,7 @@ const (
 	PathStats       = "/statsz"
 	PathMetrics     = "/metricsz"
 	PathSlow        = "/debug/slowz"
+	PathTraces      = "/debug/tracez"
 )
 
 // Sample is the wire form of a codec.Sample. Data holds the little-endian

@@ -4,12 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fairdms/internal/dmsapi"
+	"fairdms/internal/obs"
 )
 
 // Config wires a Cluster to its shard set and tunes its behavior.
@@ -46,8 +46,9 @@ type Config struct {
 	Backoff time.Duration
 	// Timeout bounds each per-shard HTTP exchange (default 30s).
 	Timeout time.Duration
-	// Logger receives membership transitions and reroutes; nil silences.
-	Logger *log.Logger
+	// Logger receives membership transitions and reroutes as leveled
+	// key=value events; nil silences.
+	Logger *obs.Logger
 }
 
 func (c *Config) defaults() {
@@ -215,9 +216,8 @@ func (c *Cluster) noteFailure(n *node, err error) {
 	if f := n.fails.Add(1); int(f) >= c.cfg.FailAfter && n.healthy.CompareAndSwap(true, false) {
 		n.ejections.Add(1)
 		c.epoch.Add(1)
-		if c.cfg.Logger != nil {
-			c.cfg.Logger.Printf("dmscluster: ejected shard %d (%s) after %d failures: %v", n.idx, n.addr, f, err)
-		}
+		c.cfg.Logger.Warn("shard ejected",
+			"shard", n.idx, "node", n.addr, "fails", f, "epoch", c.epoch.Load(), "err", err)
 	}
 }
 
@@ -227,9 +227,8 @@ func (c *Cluster) noteSuccess(n *node) {
 	n.fails.Store(0)
 	if n.healthy.CompareAndSwap(false, true) {
 		c.epoch.Add(1)
-		if c.cfg.Logger != nil {
-			c.cfg.Logger.Printf("dmscluster: re-admitted shard %d (%s)", n.idx, n.addr)
-		}
+		c.cfg.Logger.Info("shard re-admitted",
+			"shard", n.idx, "node", n.addr, "epoch", c.epoch.Load())
 	}
 }
 

@@ -497,7 +497,7 @@ func TestClusterTrainRouting(t *testing.T) {
 func TestRouterFourTierTrace(t *testing.T) {
 	ctx := context.Background()
 	cluster, _ := startCluster(t, 2, dmscluster.Config{BootstrapK: 3, Seed: 1, ProbeInterval: -1})
-	router := dmscluster.NewRouter(cluster, nil)
+	router := dmscluster.NewRouter(cluster, dmscluster.RouterConfig{})
 	addr, err := router.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -616,7 +616,7 @@ func TestClusterChaos(t *testing.T) {
 		Backoff:       5 * time.Millisecond,
 	})
 	cluster.Start()
-	router := dmscluster.NewRouter(cluster, nil)
+	router := dmscluster.NewRouter(cluster, dmscluster.RouterConfig{})
 	addr, err := router.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -5,9 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -17,18 +18,46 @@ import (
 	"fairdms/internal/obs"
 )
 
+// RouterConfig tunes the router's observability plane; the zero value is
+// a working router with tracing retention and SLOs off.
+type RouterConfig struct {
+	// Logger receives request errors as leveled key=value events; nil
+	// silences.
+	Logger *obs.Logger
+	// SLOs are the per-endpoint objectives evaluated over rolling windows
+	// (parse with obs.ParseSLOs). Empty disables the SLO layer.
+	SLOs []obs.SLO
+	// TraceRing sizes the tail-based trace retention ring behind
+	// GET /debug/tracez. Zero or negative disables retention (the route
+	// answers 404).
+	TraceRing int
+	// TraceSlow is the latency threshold above which a request's span
+	// tree is retained even when it succeeded cleanly. Zero or negative
+	// means only errored and degraded requests are retained.
+	TraceSlow time.Duration
+	// ScrapeTimeout bounds the per-request fleet metrics scrape behind
+	// the federated /metricsz (default 2s).
+	ScrapeTimeout time.Duration
+}
+
 // Router serves the dmsapi /v1 surface over HTTP on top of a Cluster:
 // the standalone routing tier (cmd/dmsrouter) for callers that cannot
 // embed the smart client. Handlers are thin — every routing decision
 // and merge lives on Cluster — plus the router's own observability:
-// /statsz with per-node health and the membership epoch, /metricsz in
-// Prometheus text form, and X-Dms-Trace propagation so a sampled client
-// sees one contiguous span tree across client, router, and shards.
+// /statsz with per-node health and the membership epoch, a federated
+// /metricsz merging every healthy shard's exposition under its own,
+// tail-based trace retention at /debug/tracez, SLO burn rates, and
+// X-Dms-Trace propagation so a sampled client sees one contiguous span
+// tree across client, router, and shards.
 type Router struct {
 	cluster *Cluster
-	logger  *log.Logger
+	cfg     RouterConfig
+	logger  *obs.Logger
 	mux     *http.ServeMux
 	reg     *obs.Registry
+
+	slo      *obs.SLOEvaluator
+	tracelog *obs.TraceLog
 
 	start     time.Time
 	requests  atomic.Int64
@@ -47,12 +76,18 @@ type routeMetrics struct {
 	hist   *hdrhist.Histogram
 }
 
-// RouterStats is the body of the router's GET /statsz.
+// RouterStats is the body of the router's GET /statsz. It carries the
+// same uptime and build-identity block dmsd's Stats does, so fleet
+// tooling (dmstop) reads one shape from both tiers.
 type RouterStats struct {
 	UptimeSeconds float64                        `json:"uptime_seconds"`
+	GoVersion     string                         `json:"go_version"`
+	Version       string                         `json:"version"`
+	Revision      string                         `json:"revision"`
 	Requests      int64                          `json:"requests"`
 	Cluster       ClusterStats                   `json:"cluster"`
 	Endpoints     map[string]RouterEndpointStats `json:"endpoints"`
+	SLO           []obs.SLOStatus                `json:"slo,omitempty"`
 }
 
 // RouterEndpointStats is one endpoint's counters in RouterStats.
@@ -66,16 +101,20 @@ type RouterEndpointStats struct {
 
 // NewRouter builds the HTTP tier over an existing cluster client. The
 // caller owns the cluster's lifecycle (Start/Close).
-func NewRouter(c *Cluster, logger *log.Logger) *Router {
+func NewRouter(c *Cluster, cfg RouterConfig) *Router {
 	rt := &Router{
-		cluster: c,
-		logger:  logger,
-		mux:     http.NewServeMux(),
-		reg:     obs.NewRegistry(),
-		start:   time.Now(),
-		metrics: make(map[string]*routeMetrics),
+		cluster:  c,
+		cfg:      cfg,
+		logger:   cfg.Logger,
+		mux:      http.NewServeMux(),
+		reg:      obs.NewRegistry(),
+		slo:      obs.NewSLOEvaluator(cfg.SLOs),
+		tracelog: obs.NewTraceLog(cfg.TraceRing),
+		start:    time.Now(),
+		metrics:  make(map[string]*routeMetrics),
 	}
 	rt.registerMetrics()
+	rt.slo.Register(rt.reg)
 
 	rt.route("POST "+dmsapi.PathIngest, "data.ingest", rt.handleIngest)
 	rt.route("POST "+dmsapi.PathIngestBatch, "data.ingest_batch", rt.handleIngestBatch)
@@ -94,7 +133,16 @@ func NewRouter(c *Cluster, logger *log.Logger) *Router {
 	rt.route("GET "+dmsapi.PathHealth, "healthz", rt.handleHealth)
 	rt.route("GET "+dmsapi.PathStats, "statsz", rt.handleStats)
 	rt.route("GET "+dmsapi.PathMetrics, "metricsz", rt.handleMetrics)
+	rt.route("GET "+dmsapi.PathTraces, "tracez", rt.handleTraces)
 	return rt
+}
+
+// metaEndpoints are the router's own observability surfaces: they are
+// excluded from SLO scoring and trace retention so a dashboard polling
+// /statsz cannot burn an error budget or wash real traces out of the
+// ring.
+var metaEndpoints = map[string]bool{
+	"healthz": true, "statsz": true, "metricsz": true, "tracez": true,
 }
 
 func (rt *Router) registerMetrics() {
@@ -110,16 +158,23 @@ func (rt *Router) registerMetrics() {
 		rt.cluster.degraded.Load)
 	r.CounterFunc("dms_router_reroutes_total", "ingest sub-batches rerouted off their hash owner",
 		rt.cluster.reroutes.Load)
+	r.CounterFunc("dms_router_retained_traces_total", "span trees retained by tail-based sampling",
+		func() int64 { return rt.tracelog.Total() })
 	rt.epCount = r.CounterVec("dms_router_endpoint_requests_total", "requests by endpoint", "endpoint")
 	rt.epErrors = r.CounterVec("dms_router_endpoint_errors_total", "error responses by endpoint", "endpoint")
 	rt.epLatency = r.HistogramVec("dms_router_endpoint_latency_seconds", "request latency by endpoint", "endpoint")
 }
 
-// route registers one handler with metrics and trace propagation. The
-// router rebuilds the inbound X-Dms-Trace as its own trace; per-shard
-// calls attach each shard's span trailer to it, so the trailer the
-// router sends back is the grafted router+shards subtree and the
-// client's joined trace shows all four tiers contiguously.
+// route registers one handler with metrics, trace propagation, SLO
+// scoring, and tail-based trace retention. The router rebuilds the
+// inbound X-Dms-Trace as its own trace; per-shard calls attach each
+// shard's span trailer to it, so the trailer the router sends back is
+// the grafted router+shards subtree and the client's joined trace shows
+// all four tiers contiguously. When the trace-retention ring is armed,
+// the router builds that same tree for every non-meta request — not just
+// client-sampled ones — and keeps it if the request turned out slow,
+// errored, or degraded (tail-based sampling: decide after the outcome is
+// known).
 func (rt *Router) route(pattern, name string, h func(w http.ResponseWriter, r *http.Request) error) {
 	m := &routeMetrics{
 		count:  rt.epCount.With(name),
@@ -130,33 +185,74 @@ func (rt *Router) route(pattern, name string, h func(w http.ResponseWriter, r *h
 	rt.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		rt.requests.Add(1)
 		m.count.Inc()
+		meta := metaEndpoints[name]
 
 		id, sampled := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
 		var tr *obs.Trace
 		var root *obs.Span
-		if sampled {
-			tr = obs.NewTrace(id, sampled)
+		var flags *reqFlags
+		if sampled || (!meta && rt.tracelog.Enabled()) {
+			// The trace is marked sampled internally so shard calls carry
+			// the header and the four-tier tree assembles even when only
+			// the retention ring asked for it.
+			tr = obs.NewTrace(id, true)
 			ctx := obs.NewContext(r.Context(), tr)
 			ctx, root = obs.StartSpan(ctx, "route")
 			r = r.WithContext(ctx)
+		}
+		if !meta {
+			ctx, f := withReqFlags(r.Context())
+			r = r.WithContext(ctx)
+			flags = f
+		}
+		if sampled {
 			w.Header().Set("Trailer", obs.SpanHeader)
 		}
 
 		begin := time.Now()
 		err := h(w, r)
 		root.End()
-		m.hist.Record(time.Since(begin))
-		if tr.Sampled() {
+		dur := time.Since(begin)
+		m.hist.Record(dur)
+		if sampled {
 			w.Header().Set(obs.SpanHeader, obs.EncodeDump(tr.Dump()))
 		}
 		if err != nil {
 			m.errors.Inc()
-			if rt.logger != nil {
-				rt.logger.Printf("dmsrouter: %s %s: %v", r.Method, r.URL.Path, err)
-			}
+			rt.logger.Warn("request failed",
+				"endpoint", name, "method", r.Method, "path", r.URL.Path,
+				"dur", dur, "err", err)
 			dmsapi.WriteStatusError(w, err)
 		}
+		if !meta {
+			rt.slo.Observe(name, dur, err != nil)
+			rt.retainTrace(name, dur, err, flags, tr)
+		}
 	})
+}
+
+// retainTrace applies the tail-based retention decision to one finished
+// request.
+func (rt *Router) retainTrace(name string, dur time.Duration, err error, flags *reqFlags, tr *obs.Trace) {
+	if !rt.tracelog.Enabled() {
+		return
+	}
+	degraded := flags != nil && flags.degraded.Load()
+	slow := rt.cfg.TraceSlow > 0 && dur >= rt.cfg.TraceSlow
+	if err == nil && !degraded && !slow {
+		return
+	}
+	entry := obs.TraceEntry{
+		Op:       name,
+		DurMS:    float64(dur) / float64(time.Millisecond),
+		At:       time.Now(),
+		Degraded: degraded,
+		Trace:    tr.Dump(),
+	}
+	if err != nil {
+		entry.Error = err.Error()
+	}
+	rt.tracelog.Add(entry)
 }
 
 func decodeBody(r *http.Request, v any) error {
@@ -352,11 +448,16 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) error {
+	goVersion, version, revision := dmsapi.BuildIdentity()
 	st := RouterStats{
 		UptimeSeconds: time.Since(rt.start).Seconds(),
+		GoVersion:     goVersion,
+		Version:       version,
+		Revision:      revision,
 		Requests:      rt.requests.Load(),
 		Cluster:       rt.cluster.Stats(),
 		Endpoints:     make(map[string]RouterEndpointStats, len(rt.metrics)),
+		SLO:           rt.slo.Status(),
 	}
 	for name, m := range rt.metrics {
 		snap := m.hist.Snapshot()
@@ -371,9 +472,16 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, st)
 }
 
+// handleMetrics serves the federated exposition: the router's own
+// dms_router_*/dms_slo_* families first, then every healthy shard's
+// families relabeled with node=<addr>, then the dms_fleet_* aggregates —
+// one scrape point for the whole cluster. Shard and fleet family names
+// never collide with the router's own (dms_* vs dms_router_*), so the
+// concatenation stays a valid exposition.
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) error {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := rt.reg.WritePrometheus(w); err != nil {
+	rt.slo.Status() // refresh burn-rate gauges before rendering
+	var b strings.Builder
+	if err := rt.reg.WritePrometheus(&b); err != nil {
 		// obs surfaces report ErrDisabled for switched-off subsystems;
 		// map it to 404 at the boundary like dmsd does.
 		if errors.Is(err, obs.ErrDisabled) {
@@ -381,7 +489,55 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 		}
 		return &dmsapi.StatusError{Code: http.StatusInternalServerError, ErrCode: dmsapi.CodeInternal, Message: "metrics export: " + err.Error()}
 	}
-	return nil
+	fleet := obs.Federate(rt.cluster.ScrapeFleet(r.Context(), rt.cfg.ScrapeTimeout))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	_, err := w.Write(obs.RenderExposition(fleet))
+	return err
+}
+
+// handleTraces serves GET /debug/tracez: the tail-retained span trees,
+// newest first, filterable by ?op=&min_ms=&error=&degraded=.
+func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) error {
+	q := obs.TraceQuery{Op: r.URL.Query().Get("op")}
+	if v := r.URL.Query().Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return &dmsapi.StatusError{
+				Code: http.StatusBadRequest, ErrCode: dmsapi.CodeBadRequest,
+				Message: "tracez: bad min_ms: " + err.Error(),
+			}
+		}
+		q.MinMS = ms
+	}
+	for _, f := range []struct {
+		name string
+		dst  **bool
+	}{{"error", &q.Error}, {"degraded", &q.Degraded}} {
+		if v := r.URL.Query().Get(f.name); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return &dmsapi.StatusError{
+					Code: http.StatusBadRequest, ErrCode: dmsapi.CodeBadRequest,
+					Message: "tracez: bad " + f.name + ": " + err.Error(),
+				}
+			}
+			*f.dst = &b
+		}
+	}
+	entries, err := rt.tracelog.Query(q)
+	if errors.Is(err, obs.ErrDisabled) {
+		return &dmsapi.StatusError{Code: http.StatusNotFound, ErrCode: dmsapi.CodeNotFound, Message: err.Error()}
+	}
+	if err != nil {
+		return &dmsapi.StatusError{Code: http.StatusInternalServerError, ErrCode: dmsapi.CodeInternal, Message: "tracez: " + err.Error()}
+	}
+	return writeJSON(w, struct {
+		Total  int64            `json:"total_retained"`
+		Traces []obs.TraceEntry `json:"traces"`
+	}{Total: rt.tracelog.Total(), Traces: entries})
 }
 
 // Handler exposes the routing table (e.g. for httptest).

@@ -94,8 +94,28 @@ func errNoShards(op string) error {
 	}
 }
 
-// noteDegraded flags a merged response assembled without every shard.
-func (c *Cluster) noteDegraded() { c.degraded.Add(1) }
+// reqFlagsKey carries a per-request degraded marker through the scatter
+// path. The router injects one so tail-based trace retention can tell a
+// degraded merge apart without re-parsing response bodies; noteDegraded
+// is the single choke point every degraded merge passes through.
+type reqFlagsKey struct{}
+
+type reqFlags struct{ degraded atomic.Bool }
+
+// withReqFlags arms a request context with a degraded marker.
+func withReqFlags(ctx context.Context) (context.Context, *reqFlags) {
+	f := &reqFlags{}
+	return context.WithValue(ctx, reqFlagsKey{}, f), f
+}
+
+// noteDegraded flags a merged response assembled without every shard,
+// both on the cluster-wide counter and on the request's own marker.
+func (c *Cluster) noteDegraded(ctx context.Context) {
+	c.degraded.Add(1)
+	if f, _ := ctx.Value(reqFlagsKey{}).(*reqFlags); f != nil {
+		f.degraded.Store(true)
+	}
+}
 
 // partial reports whether a fan-out over nodes with the given failure
 // count covered less than the full membership: either a shard failed
@@ -146,8 +166,8 @@ func (c *Cluster) ensureFitted(ctx context.Context, samples []dmsapi.Sample) err
 	// and answer not_fitted, which fan-out reads tolerate as a degraded
 	// merge. Static membership means no automatic re-fit — see the
 	// rebalance caveats in docs/ARCHITECTURE.md.
-	if len(failed) > 0 && c.cfg.Logger != nil {
-		c.cfg.Logger.Printf("dmscluster: bootstrap fit reached %d/%d shards", len(ok), len(nodes))
+	if len(failed) > 0 {
+		c.cfg.Logger.Warn("bootstrap fit incomplete", "fitted", len(ok), "shards", len(nodes))
 	}
 	c.fitted.Store(true)
 	return nil
@@ -257,9 +277,8 @@ func (c *Cluster) sendSubBatch(ctx context.Context, target int, sub dmsapi.Inges
 			continue
 		}
 		c.reroutes.Add(1)
-		if c.cfg.Logger != nil {
-			c.cfg.Logger.Printf("dmscluster: rerouting %d-doc sub-batch from shard %d to %d", len(sub.Samples), target, alt.idx)
-		}
+		c.cfg.Logger.Warn("rerouting ingest sub-batch",
+			"docs", len(sub.Samples), "from_shard", target, "to_shard", alt.idx)
 		if err2 := alt.client.DoJSON(ctx, "POST", dmsapi.PathIngestBatch, sub, &out); err2 == nil {
 			c.noteSuccess(alt)
 			return out, nil
@@ -301,7 +320,7 @@ func (c *Cluster) Certainty(ctx context.Context, req dmsapi.CertaintyRequest) (d
 	}
 	resp := dmsapi.CertaintyResponse{Certainty: sum / float64(len(ok)), Degraded: c.partial(nodes, len(failed))}
 	if resp.Degraded {
-		c.noteDegraded()
+		c.noteDegraded(ctx)
 	}
 	return resp, nil
 }
@@ -340,7 +359,7 @@ func (c *Cluster) PDF(ctx context.Context, req dmsapi.PDFRequest) (dmsapi.PDFRes
 	}
 	resp := dmsapi.PDFResponse{PDF: pdf, K: len(pdf), Degraded: c.partial(nodes, len(failed)) || contrib < len(ok)}
 	if resp.Degraded {
-		c.noteDegraded()
+		c.noteDegraded(ctx)
 	}
 	return resp, nil
 }
@@ -443,7 +462,7 @@ func (c *Cluster) Nearest(ctx context.Context, req dmsapi.NearestRequest) (dmsap
 	}
 
 	if degraded {
-		c.noteDegraded()
+		c.noteDegraded(ctx)
 	}
 	return dmsapi.NearestResponse{Matches: out, Degraded: degraded}, nil
 }
@@ -592,7 +611,7 @@ func (c *Cluster) Lookup(ctx context.Context, req dmsapi.LookupRequest) (dmsapi.
 		}
 	}
 	if degraded {
-		c.noteDegraded()
+		c.noteDegraded(ctx)
 	}
 	return resp, nil
 }
@@ -631,8 +650,9 @@ func (c *Cluster) AddModel(ctx context.Context, req dmsapi.AddModelRequest) (dms
 		}
 	}
 	if accepted > 0 {
-		if accepted+duplicates < len(nodes) && c.cfg.Logger != nil {
-			c.cfg.Logger.Printf("dmscluster: model %q replicated to %d/%d shards", req.ID, accepted+duplicates, len(nodes))
+		if accepted+duplicates < len(nodes) {
+			c.cfg.Logger.Warn("model replication incomplete",
+				"model", req.ID, "replicated", accepted+duplicates, "shards", len(nodes))
 		}
 		return info, nil
 	}
@@ -717,7 +737,7 @@ func (c *Cluster) Recommend(ctx context.Context, req dmsapi.RecommendRequest) (d
 	}
 	best.Degraded = c.partial(nodes, len(failed))
 	if best.Degraded {
-		c.noteDegraded()
+		c.noteDegraded(ctx)
 	}
 	return best, nil
 }

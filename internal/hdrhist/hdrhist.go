@@ -79,14 +79,25 @@ func bucketMid(b int) int64 {
 
 // Record adds one observation. Negative durations are clamped to zero.
 // Safe for concurrent use; never blocks.
-func (h *Histogram) Record(d time.Duration) {
+func (h *Histogram) Record(d time.Duration) { h.RecordN(d, 1) }
+
+// RecordN adds n identical observations in one shot — the bulk path used
+// when reconstructing a histogram from summarized data (e.g. merging
+// per-shard quantile summaries into a fleet-wide histogram, where each
+// reported quantile stands in for a known share of that shard's count).
+// Bucket increments commute, so merging is order-independent. Non-positive
+// n is a no-op.
+func (h *Histogram) RecordN(d time.Duration, n int64) {
+	if n <= 0 {
+		return
+	}
 	ns := d.Nanoseconds()
 	if ns < 0 {
 		ns = 0
 	}
-	h.count.Add(1)
-	h.sumNS.Add(ns)
-	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(n)
+	h.sumNS.Add(ns * n)
+	h.buckets[bucketIndex(ns)].Add(n)
 	for {
 		cur := h.maxNS.Load()
 		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {

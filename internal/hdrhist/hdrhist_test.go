@@ -150,3 +150,53 @@ func BenchmarkSnapshot(b *testing.B) {
 		_ = s.Quantile(0.99)
 	}
 }
+
+// TestRecordN pins the bulk-record path: n identical observations behave
+// exactly like n Record calls, and bulk merges commute across order.
+func TestRecordN(t *testing.T) {
+	var bulk, loop Histogram
+	bulk.RecordN(3*time.Millisecond, 100)
+	bulk.RecordN(9*time.Millisecond, 50)
+	for i := 0; i < 100; i++ {
+		loop.Record(3 * time.Millisecond)
+	}
+	for i := 0; i < 50; i++ {
+		loop.Record(9 * time.Millisecond)
+	}
+	bs, ls := bulk.Snapshot(), loop.Snapshot()
+	if bs.Count != ls.Count || bs.SumNS != ls.SumNS || bs.MaxNS != ls.MaxNS {
+		t.Errorf("bulk (%d,%d,%d) != loop (%d,%d,%d)",
+			bs.Count, bs.SumNS, bs.MaxNS, ls.Count, ls.SumNS, ls.MaxNS)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if bs.Quantile(q) != ls.Quantile(q) {
+			t.Errorf("q%v: bulk %v != loop %v", q, bs.Quantile(q), ls.Quantile(q))
+		}
+	}
+
+	// Merge order must not matter: recording the same weighted sets in
+	// reverse yields identical snapshots.
+	var fwd, rev Histogram
+	sets := []struct {
+		d time.Duration
+		n int64
+	}{{time.Millisecond, 500}, {40 * time.Millisecond, 9}, {2 * time.Second, 1}}
+	for _, s := range sets {
+		fwd.RecordN(s.d, s.n)
+	}
+	for i := len(sets) - 1; i >= 0; i-- {
+		rev.RecordN(sets[i].d, sets[i].n)
+	}
+	fs, rs := fwd.Snapshot(), rev.Snapshot()
+	if fs.Quantile(0.5) != rs.Quantile(0.5) || fs.Quantile(0.999) != rs.Quantile(0.999) || fs.Count != rs.Count {
+		t.Error("RecordN merge is order-dependent")
+	}
+
+	// Non-positive n is a no-op.
+	var empty Histogram
+	empty.RecordN(time.Second, 0)
+	empty.RecordN(time.Second, -5)
+	if empty.Snapshot().Count != 0 {
+		t.Error("non-positive n recorded something")
+	}
+}

@@ -1,0 +1,56 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fairdms/internal/obs"
+)
+
+// CheckSLOs evaluates a finished run against a set of objectives (the
+// same grammar the router's -slo flag accepts) and returns one violation
+// string per failed objective, ordered by objective ID. An empty result
+// means every objective that matched an exercised op held.
+//
+// Latency objectives check the matching op's client-side quantile against
+// the bound; the report records p50/p95/p99/p999, so those are the only
+// quantiles an objective may name (ParseSLOs enforces the same set).
+// Error objectives check errors/count against the budget. Objectives that
+// match no op in the report are skipped, not failed — a bench that never
+// exercised "recommend" cannot vouch for it either way.
+func CheckSLOs(rep *Report, slos []obs.SLO) []string {
+	var out []string
+	for _, slo := range slos {
+		for op, st := range rep.Ops {
+			if !slo.MatchesEndpoint(op) || st.Count == 0 {
+				continue
+			}
+			if slo.Name == "err" {
+				rate := float64(st.Errors) / float64(st.Count)
+				if rate > slo.ErrRate {
+					out = append(out, fmt.Sprintf("%s: error rate %.3f%% > %s (%d/%d failed)",
+						op, rate*100, slo, st.Errors, st.Count))
+				}
+				continue
+			}
+			var gotMS float64
+			switch slo.Name {
+			case "p50":
+				gotMS = st.P50MS
+			case "p95":
+				gotMS = st.P95MS
+			case "p99":
+				gotMS = st.P99MS
+			case "p999":
+				gotMS = st.P999MS
+			}
+			boundMS := float64(slo.Latency) / float64(time.Millisecond)
+			if gotMS > boundMS {
+				out = append(out, fmt.Sprintf("%s: %s %.2fms > %s", op, slo.Name, gotMS, slo))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,64 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+
+	"fairdms/internal/obs"
+)
+
+func TestCheckSLOs(t *testing.T) {
+	rep := &Report{Ops: map[string]OpStats{
+		"nearest":   {Count: 1000, Errors: 5, P50MS: 1.2, P95MS: 3.8, P99MS: 6.5, P999MS: 12.0},
+		"recommend": {Count: 400, Errors: 0, P50MS: 2.0, P95MS: 8.0, P99MS: 15.0, P999MS: 30.0},
+		"lookup":    {Count: 0},
+	}}
+
+	slos, err := obs.ParseSLOs("nearest:p99<5ms,err<0.1%;recommend:p95<20ms;certainty:p50<1ms;lookup:p50<1ms")
+	if err != nil {
+		t.Fatalf("ParseSLOs: %v", err)
+	}
+	got := CheckSLOs(rep, slos)
+
+	// nearest fails both objectives: p99 6.5ms > 5ms, err 0.5% > 0.1%.
+	// recommend passes; certainty matched nothing and lookup had no
+	// traffic, so neither can fail.
+	if len(got) != 2 {
+		t.Fatalf("violations = %v, want exactly 2", got)
+	}
+	if !strings.Contains(got[0], "nearest: error rate 0.500%") {
+		t.Errorf("violation[0] = %q, want nearest error-rate breach", got[0])
+	}
+	if !strings.Contains(got[1], "nearest: p99 6.50ms") {
+		t.Errorf("violation[1] = %q, want nearest p99 breach", got[1])
+	}
+}
+
+func TestCheckSLOsAllPass(t *testing.T) {
+	rep := &Report{Ops: map[string]OpStats{
+		"nearest": {Count: 100, Errors: 0, P99MS: 2.0},
+	}}
+	slos, err := obs.ParseSLOs("nearest:p99<5ms,err<1%")
+	if err != nil {
+		t.Fatalf("ParseSLOs: %v", err)
+	}
+	if got := CheckSLOs(rep, slos); len(got) != 0 {
+		t.Fatalf("violations = %v, want none", got)
+	}
+}
+
+func TestCheckSLOsSuffixMatch(t *testing.T) {
+	// An objective on the bare name covers dotted server-side endpoint
+	// names, matching SLO.MatchesEndpoint semantics.
+	rep := &Report{Ops: map[string]OpStats{
+		"data.nearest": {Count: 10, Errors: 0, P99MS: 9.0},
+	}}
+	slos, err := obs.ParseSLOs("nearest:p99<5ms")
+	if err != nil {
+		t.Fatalf("ParseSLOs: %v", err)
+	}
+	got := CheckSLOs(rep, slos)
+	if len(got) != 1 || !strings.Contains(got[0], "data.nearest: p99 9.00ms") {
+		t.Fatalf("violations = %v, want one data.nearest breach", got)
+	}
+}

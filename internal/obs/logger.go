@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger is a minimal leveled key=value logger. Lines look like
+//
+//	time=2026-08-08T12:00:00Z level=warn msg="shard ejected" node=n2 epoch=4
+//
+// so health-probe ejections and fail-open reroutes are grep-able events.
+// A nil *Logger is a valid no-op receiver; With derives child loggers that
+// stamp fixed fields (node identity, epoch) on every line.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	min   Level
+	now   func() time.Time // injectable for tests
+	extra string           // pre-rendered fields from With
+}
+
+// Level orders log severities.
+type Level int
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "info"
+}
+
+// ParseLevel parses a -log-level flag value.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("unknown log level %q (want debug/info/warn/error)", s)
+}
+
+// NewLogger writes lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, min: min, now: time.Now}
+}
+
+// With returns a child logger that appends the given key/value pairs to
+// every line. Fields render in the order given, after the parent's.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	var b strings.Builder
+	b.WriteString(l.extra)
+	appendFields(&b, kv)
+	child.extra = b.String()
+	return &child
+}
+
+// Enabled reports whether lines at level would be written.
+func (l *Logger) Enabled(level Level) bool { return l != nil && level >= l.min }
+
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+func (l *Logger) Info(msg string, kv ...any)  { l.log(LevelInfo, msg, kv) }
+func (l *Logger) Warn(msg string, kv ...any)  { l.log(LevelWarn, msg, kv) }
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("time=")
+	b.WriteString(l.now().UTC().Format(time.RFC3339))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(quoteValue(msg))
+	b.WriteString(l.extra)
+	appendFields(&b, kv)
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, b.String())
+}
+
+// appendFields renders key/value pairs as ` k=v`; a trailing odd value
+// gets the key "extra" rather than being dropped.
+func appendFields(b *strings.Builder, kv []any) {
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		var val any = "(missing)"
+		if i+1 < len(kv) {
+			val = kv[i+1]
+		} else {
+			key, val = "extra", key
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(quoteValue(formatValue(val)))
+	}
+}
+
+func formatValue(v any) string {
+	switch t := v.(type) {
+	case string:
+		return t
+	case error:
+		return t.Error()
+	case time.Duration:
+		return t.String()
+	case float64:
+		return strconv.FormatFloat(t, 'g', -1, 64)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// quoteValue quotes a value only when it needs it, keeping typical lines
+// (identifiers, numbers) unquoted and grep-friendly.
+func quoteValue(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, " \"=\n\t") {
+		return strconv.Quote(s)
+	}
+	return s
+}

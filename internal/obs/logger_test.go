@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testLogger(min Level) (*Logger, *bytes.Buffer) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, min)
+	l.now = func() time.Time { return time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC) } // fixed for deterministic lines
+	return l, &buf
+}
+
+func TestLoggerFormat(t *testing.T) {
+	l, buf := testLogger(LevelInfo)
+	l.Info("shard ejected", "node", "127.0.0.1:7002", "epoch", 4, "err", errors.New("probe timeout"))
+	got := strings.TrimSuffix(buf.String(), "\n")
+	want := `time=2026-08-08T10:00:00Z level=info msg="shard ejected" node=127.0.0.1:7002 epoch=4 err="probe timeout"`
+	if got != want {
+		t.Errorf("line:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	l, buf := testLogger(LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "level=warn") || !strings.Contains(lines[1], "level=error") {
+		t.Errorf("filtered lines = %q", lines)
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Error("Enabled disagrees with filtering")
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	l, buf := testLogger(LevelDebug)
+	child := l.With("node", "n1").With("epoch", 7)
+	child.Debug("probe ok", "rtt", 3*time.Millisecond)
+	got := buf.String()
+	for _, want := range []string{"node=n1", "epoch=7", "rtt=3ms", "level=debug"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("line %q missing %q", got, want)
+		}
+	}
+	// Parent is untouched by With.
+	buf.Reset()
+	l.Info("plain")
+	if strings.Contains(buf.String(), "node=") {
+		t.Errorf("parent gained child fields: %q", buf.String())
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Info("into the void", "k", "v")
+	l.With("a", 1).Error("still nothing")
+	if l.Enabled(LevelError) {
+		t.Error("nil logger claims enabled")
+	}
+}
+
+func TestLoggerOddFields(t *testing.T) {
+	l, buf := testLogger(LevelInfo)
+	l.Info("odd", "dangling")
+	if !strings.Contains(buf.String(), "extra=dangling") {
+		t.Errorf("dangling value dropped: %q", buf.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{"debug": LevelDebug, "INFO": LevelInfo, "warn": LevelWarn, "warning": LevelWarn, "error": LevelError, "": LevelInfo} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("accepted unknown level")
+	}
+}

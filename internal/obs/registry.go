@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -59,7 +60,7 @@ type family struct {
 
 	mu     sync.Mutex
 	order  []string
-	series map[string]any // *Counter | func() int64 | func() float64 | *hdrhist.Histogram
+	series map[string]any // *Counter | *Gauge | func() int64 | func() float64 | *hdrhist.Histogram
 }
 
 // Counter is a monotonically increasing metric.
@@ -74,6 +75,15 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is a settable instantaneous metric (an atomic float64).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // CounterVec is a counter family keyed by one label.
 type CounterVec struct{ f *family }
 
@@ -81,6 +91,15 @@ type CounterVec struct{ f *family }
 func (v *CounterVec) With(value string) *Counter {
 	c, _ := v.f.get(value, func() any { return &Counter{} }).(*Counter)
 	return c
+}
+
+// GaugeVec is a gauge family keyed by one label.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for a label value, creating it on first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	g, _ := v.f.get(value, func() any { return &Gauge{} }).(*Gauge)
+	return g
 }
 
 // HistogramVec is a latency-summary family keyed by one label. Each
@@ -152,6 +171,21 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f.order = []string{""}
 }
 
+// Gauge registers and returns a settable scalar gauge — for values pushed
+// by an evaluator (e.g. SLO burn rates) rather than read from owner state.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, typeGauge, "")
+	g := &Gauge{}
+	f.series[""] = g
+	f.order = []string{""}
+	return g
+}
+
+// GaugeVec registers a settable gauge family keyed by label.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, typeGauge, label)}
+}
+
 // Histogram registers and returns a scalar latency histogram, exposed as
 // a Prometheus summary in seconds.
 func (r *Registry) Histogram(name, help string) *hdrhist.Histogram {
@@ -209,6 +243,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelPairs(f.label, lv, "", 0), s())
 			case func() float64:
 				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelPairs(f.label, lv, "", 0), formatFloat(s()))
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelPairs(f.label, lv, "", 0), formatFloat(s.Value()))
 			case *hdrhist.Histogram:
 				snap := s.Snapshot()
 				for _, q := range quantiles {

@@ -7,10 +7,11 @@ import (
 	"time"
 )
 
-// ErrDisabled is returned by SlowLog.Snapshot when the log was built with
-// a non-positive threshold. API handlers map it to 404 Not Found (see the
+// ErrDisabled is returned by read surfaces of switched-off subsystems —
+// SlowLog.Snapshot with a non-positive threshold, TraceLog.Query with a
+// zero-size ring. API handlers map it to 404 Not Found (see the
 // errboundary sentinel table): the route exists, the feature is off.
-var ErrDisabled = errors.New("obs: slow-request log disabled")
+var ErrDisabled = errors.New("obs: subsystem disabled")
 
 // SlowEntry is one retained slow request: what it was, how long it took,
 // and its full span tree.
